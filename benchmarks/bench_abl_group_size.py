@@ -1,0 +1,18 @@
+"""Ablation: PE-group width at constant MAC count (the Fig. 17 decision,
+measured end-to-end).
+
+32-wide groups amortize broadcasts over more MACs but hit multi-outlier
+spill chunks far more often (Fig. 17), costing end-to-end cycles at the
+paper's 5% worst-case outlier ratio. 8-wide groups avoid spills but halve
+channel-level SIMD amortization — the paper picks 16 as the balance (and
+because modern architectures like ResNeXt limit per-branch channel counts).
+"""
+
+from repro.harness import sweep_group_size
+
+
+def test_group_size(run_once):
+    result = run_once(sweep_group_size, "alexnet", 0.05)
+    normalized = result.normalized()
+    assert normalized[32] > 1.05  # wide groups pay the spill penalty
+    assert 0.85 < normalized[8] <= 1.05  # narrow groups are no big cycle win

@@ -1,0 +1,19 @@
+"""Ablations: what each OLAccel mechanism is worth (DESIGN.md call-outs).
+
+Removes one mechanism at a time — the per-group outlier MAC (Fig. 7),
+quad zero-skipping (Fig. 6), and the pipelined tri-buffer accumulation
+(Fig. 10) — and reports the cycle slowdown on the AlexNet workload.
+"""
+
+from repro.harness import run_all_ablations
+
+
+def test_ablations(run_once):
+    results = run_once(run_all_ablations, "alexnet")
+    by_name = {r.name: r for r in results}
+    for r in results:
+        print(r.format())
+    # Every mechanism must pay for itself on the paper workload.
+    assert by_name["outlier-mac"].slowdown > 1.05
+    assert by_name["zero-skip"].slowdown > 1.15
+    assert by_name["pipelined-accumulation"].slowdown > 1.0

@@ -1,0 +1,35 @@
+"""Extension: the paper's Sec. V prediction on deeper networks.
+
+"Considering the fact that ... OLAccel is superior to ZeNA in the other
+layers except the first one, we expect that OLAccel can give much better
+performance than ZeNA in deeper networks, e.g., ResNet-101."
+
+This bench runs ResNet-101 (and DenseNet-121) through the same ISO-area
+comparison and checks the prediction: the first layer's share of OLAccel's
+cycles shrinks, and the cycle reduction vs ZeNA grows beyond ResNet-18's.
+"""
+
+from repro.harness import breakdown_experiment
+
+
+def test_deeper_networks(run_once):
+    resnet18 = breakdown_experiment("resnet18")
+    resnet101 = run_once(breakdown_experiment, "resnet101")
+    densenet = breakdown_experiment("densenet121")
+    print(densenet.format())
+
+    # First-layer share shrinks with depth...
+    def conv1_share(result):
+        cycles = result.layer_cycles("olaccel16")
+        return cycles["conv1"] / sum(cycles.values())
+
+    assert conv1_share(resnet101) < conv1_share(resnet18) / 2
+
+    # ...so the advantage over ZeNA grows (the Sec. V prediction).
+    red18 = resnet18.reduction("olaccel16", "zena16", "cycles")
+    red101 = resnet101.reduction("olaccel16", "zena16", "cycles")
+    assert red101 > red18 + 0.05
+
+    # The energy win also persists on both deep networks.
+    assert resnet101.reduction("olaccel16", "zena16") > 0.4
+    assert densenet.reduction("olaccel16", "zena16") > 0.3

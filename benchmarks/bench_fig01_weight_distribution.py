@@ -1,0 +1,15 @@
+"""Fig. 1 — weight distribution under full-precision, linear, and
+outlier-aware quantization (trained conv2 weights).
+
+The paper's point: full-range linear 4-bit quantization wastes its levels
+on a handful of outliers; OAQ's fine-grained normal grid recovers several
+dB of SQNR at the same bit width.
+"""
+
+from repro.harness import fig1_weight_distributions
+
+
+def test_fig1(run_once):
+    result = run_once(fig1_weight_distributions)
+    assert result.oaq_sqnr_db > result.linear_sqnr_db + 3.0
+    assert 0.0 < result.outlier_ratio < 0.06

@@ -1,0 +1,17 @@
+"""Fig. 2 — accuracy vs outlier ratio for the 4-bit quantized network.
+
+Paper shape: 0% outliers (plain full-range linear 4-bit, no retraining)
+loses significant accuracy; by ~3.5% outliers the network is within ~1%
+of full precision top-5.
+"""
+
+from repro.harness import fig2_accuracy_vs_ratio
+
+
+def test_fig2(run_once):
+    result = run_once(fig2_accuracy_vs_ratio)
+    zero = result.points[0]
+    best = max(p.top5 for p in result.points if p.ratio >= 0.03)
+    assert zero.ratio == 0.0
+    assert best > zero.top5  # outliers recover accuracy
+    assert best >= result.fp_top5 - 0.03  # close to full precision

@@ -1,0 +1,15 @@
+"""Fig. 3 — 4-bit OAQ accuracy across networks at the paper's ratios
+(AlexNet 3.5%, VGG 1%, ResNet 3%, DenseNet 3%).
+
+Paper shape: every network stays close to its full-precision top-5 under
+4-bit OAQ, with 8-bit first-layer weights for the ResNet-style networks.
+"""
+
+from repro.harness import fig3_accuracy_networks
+
+
+def test_fig3(run_once):
+    result = run_once(fig3_accuracy_networks)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row.oaq_top5 >= row.fp_top5 - 0.06, row.network

@@ -1,0 +1,15 @@
+"""Fig. 11 — AlexNet cycle and energy breakdown (normalized to Eyeriss16).
+
+Paper headline: OLAccel16 cuts energy 43.5% vs ZeNA16 (27.0% at 8 bits),
+cycles 31.5% (35.1%), and 71.8% (73.2%) vs Eyeriss; the gain comes mostly
+from the memory components.
+"""
+
+from repro.harness import breakdown_experiment
+
+
+def test_fig11_alexnet(run_once):
+    result = run_once(breakdown_experiment, "alexnet")
+    assert 0.25 < result.reduction("olaccel16", "zena16") < 0.6
+    assert 0.05 < result.reduction("olaccel8", "zena8") < 0.5
+    assert 0.6 < 1 - result.normalized_cycles()["olaccel16"] < 0.85

@@ -1,0 +1,15 @@
+"""Fig. 12 — VGG-16 cycle and energy breakdown (normalized to Eyeriss16).
+
+Paper headline: OLAccel cuts energy 56.7% (16-bit) / 36.3% (8-bit) vs
+ZeNA and cycles 45.3% / 28.3%; the large on-chip memory amplifies the
+benefit of 4-bit data.
+"""
+
+from repro.harness import breakdown_experiment
+
+
+def test_fig12_vgg16(run_once):
+    result = run_once(breakdown_experiment, "vgg16")
+    assert 0.4 < result.reduction("olaccel16", "zena16") < 0.7
+    assert 0.05 < result.reduction("olaccel8", "zena8") < 0.55
+    assert result.reduction("olaccel16", "zena16", "cycles") > 0.3

@@ -1,0 +1,17 @@
+"""Fig. 13 — ResNet-18 cycle and energy breakdown (normalized to Eyeriss16).
+
+Paper headline: OLAccel cuts energy 62.2% / 49.5% vs ZeNA and cycles
+25.3% / 29.0%; the dense 8x first conv layer (8-bit weights x 16-bit raw
+input on 4-bit MACs) occupies about half of OLAccel16's cycles.
+"""
+
+from repro.harness import breakdown_experiment
+
+
+def test_fig13_resnet18(run_once):
+    result = run_once(breakdown_experiment, "resnet18")
+    assert 0.4 < result.reduction("olaccel16", "zena16") < 0.75
+    assert result.reduction("olaccel8", "zena8") > 0.1
+    layer_cycles = result.layer_cycles("olaccel16")
+    share = layer_cycles["conv1"] / sum(layer_cycles.values())
+    assert 0.3 < share < 0.65  # "C1 occupies half the total execution cycle"

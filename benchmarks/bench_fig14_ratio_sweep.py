@@ -1,0 +1,18 @@
+"""Fig. 14 — normalized energy and cycles vs outlier ratio (AlexNet,
+OLAccel16), with mini-model accuracy alongside.
+
+Paper shape: at 3.5% outliers vs 0%, energy rises ~20.6% and cycles
+~10.6% while accuracy recovers to within ~1% of full precision.
+"""
+
+from repro.harness import fig14_ratio_sweep
+
+
+def test_fig14(run_once):
+    result = run_once(fig14_ratio_sweep)
+    by_ratio = {p.ratio: p for p in result.points}
+    assert by_ratio[0.0].cycles == 1.0
+    assert 1.02 < by_ratio[0.035].cycles < 1.25  # paper: +10.6%
+    assert 1.02 < by_ratio[0.035].energy < 1.35  # paper: +20.6%
+    # accuracy improves with ratio
+    assert by_ratio[0.035].top5 > by_ratio[0.0].top5

@@ -1,0 +1,19 @@
+"""Fig. 15 — scalability: speedup vs NPU count at batch 1/4/16
+(normalized to ZeNA, batch 1, one NPU).
+
+Paper shape: near-linear scaling at batch 4 and 16; single-batch speedup
+saturates toward 16 NPUs; OLAccel batch 4 slightly beats batch 16 at high
+NPU counts due to the off-chip bandwidth limit.
+"""
+
+from repro.harness import fig15_scalability
+
+
+def test_fig15(run_once):
+    result = run_once(fig15_scalability)
+    ol4 = result.series[("olaccel16", 4)]
+    ol16 = result.series[("olaccel16", 16)]
+    ol1 = result.series[("olaccel16", 1)]
+    assert ol4[-1] > ol16[-1]  # bandwidth penalty at batch 16
+    assert ol1[-1] / ol1[0] < 12  # single batch saturates
+    assert ol4[-1] / ol4[0] > 10  # batch 4 scales well

@@ -1,0 +1,15 @@
+"""Fig. 16 — histogram of the effective outlier-activation ratio under
+statically calibrated thresholds (target 3%).
+
+Paper shape: runtime ratios cluster near the calibration target, showing
+that offline thresholds from ~100 sample images generalize.
+"""
+
+from repro.harness import fig16_outlier_histogram
+
+
+def test_fig16(run_once):
+    result = run_once(fig16_outlier_histogram, images=60)
+    assert 0.01 < result.mean_ratio < 0.06  # clusters near 0.03
+    for name, ratio in result.per_layer.items():
+        assert ratio < 0.1, name

@@ -1,0 +1,17 @@
+"""Fig. 17 — probability of multiple outlier weights per SIMD group vs
+outlier ratio, for 16/32/64-lane groups.
+
+Paper shape: at a 5% outlier ratio, 32- and 64-wide groups stall on
+multiple outliers ~50%+ of the time while 16 lanes stay near 20% — the
+reason OLAccel's PE groups are 16 MACs wide.
+"""
+
+from repro.harness import fig17_multi_outlier
+
+
+def test_fig17(run_once):
+    result = run_once(fig17_multi_outlier)
+    at_5pct = {lanes: series[-1] for lanes, series in result.series.items()}
+    assert at_5pct[16] < 0.25
+    assert at_5pct[32] > 0.4
+    assert at_5pct[64] > 0.8

@@ -1,0 +1,16 @@
+"""Fig. 18 — utilization breakdown (run / skip / idle) of AlexNet's conv
+layers on OLAccel16.
+
+Paper shape: the active (run) share tracks each layer's nonzero ratio,
+and the quad-based zero-skip overhead grows with sparsity, reaching ~20%
+in conv4/conv5.
+"""
+
+from repro.harness import fig18_utilization
+
+
+def test_fig18(run_once):
+    result = run_once(fig18_utilization)
+    rows = {r.layer: r for r in result.rows}
+    assert rows["conv2"].run > rows["conv4"].run  # run tracks nonzero
+    assert rows["conv4"].skip > 0.1  # sparse layers pay skip cycles

@@ -1,0 +1,15 @@
+"""Fig. 19 — distribution of cycles a PE group spends per A(1x1x16)
+activation chunk, per AlexNet conv layer.
+
+Paper shape: conv2 (dense activations) peaks near 15-16 cycles; conv4 and
+conv5 (sparse) peak near 5 cycles.
+"""
+
+from repro.harness import fig19_chunk_cycles
+
+
+def test_fig19(run_once):
+    result = run_once(fig19_chunk_cycles)
+    assert 13 <= result.peaks["conv2"] <= 17
+    assert 3 <= result.peaks["conv4"] <= 6
+    assert 3 <= result.peaks["conv5"] <= 6

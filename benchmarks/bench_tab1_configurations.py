@@ -1,0 +1,14 @@
+"""Table I — ISO-area configurations of Eyeriss, ZeNA and OLAccel.
+
+Regenerates the PE/MAC counts and areas: 165 Eyeriss PEs, 168 ZeNA PEs,
+768 OLAccel 4-bit MACs (16-bit comparison) / 576 (8-bit comparison).
+"""
+
+from repro.harness import table1_configurations
+
+
+def test_table1(run_once):
+    result = run_once(table1_configurations)
+    by_name = result.by_name()
+    assert by_name["olaccel16"][0] == 768
+    assert by_name["olaccel8"][0] == 576

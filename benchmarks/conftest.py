@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures and prints
+the same rows/series the paper reports. Experiment bodies are measured with
+a single round (they are end-to-end experiment drivers, not microkernels);
+pytest-benchmark still records wall-clock so regressions are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark, capsys):
+    """Run an experiment exactly once under the benchmark clock and print
+    its formatted output so `--benchmark-only -s` shows the figure rows."""
+
+    def runner(func, *args, **kwargs):
+        result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        if hasattr(result, "format"):
+            with capsys.disabled():
+                print()
+                print(result.format())
+        return result
+
+    return runner

@@ -1,0 +1,34 @@
+"""Reproduce the paper's headline comparison (Figs. 11-13).
+
+Runs the paper-shape AlexNet, VGG-16 and ResNet-18 workloads through all
+six accelerator configurations (Eyeriss/ZeNA/OLAccel at 16 and 8 bits)
+and prints the normalized cycle and energy breakdowns plus the headline
+OLAccel-vs-ZeNA reductions.
+
+Run:  python examples/compare_accelerators.py [network ...]
+"""
+
+import sys
+
+from repro.harness import breakdown_experiment
+
+PAPER_HEADLINES = {
+    # network -> (E16 red %, E8 red %, cyc16 red %, cyc8 red %)
+    "alexnet": (43.5, 27.0, 31.5, 35.1),
+    "vgg16": (56.7, 36.3, 45.3, 28.3),
+    "resnet18": (62.2, 49.5, 25.3, 29.0),
+}
+
+
+def main(networks):
+    for network in networks:
+        result = breakdown_experiment(network)
+        print(result.format())
+        e16, e8, c16, c8 = PAPER_HEADLINES[network]
+        print(
+            f"paper reported: energy -{e16}% / -{e8}%, cycles -{c16}% / -{c8}%\n"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or list(PAPER_HEADLINES))

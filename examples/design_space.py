@@ -1,0 +1,43 @@
+"""Design-space exploration: what each OLAccel mechanism buys.
+
+Uses the ablation harness to answer the questions the paper's Sec. III
+design sections raise: How much does the 17th (outlier) MAC save? What
+does quad zero-skipping buy? Does pipelining the outlier accumulation
+matter? And was 16 the right PE-group width?
+
+Run:  python examples/design_space.py [network]
+"""
+
+import sys
+
+from repro.harness import format_table, run_all_ablations, sweep_group_size
+from repro.olaccel import multi_outlier_probability, single_or_more_outlier_probability
+
+
+def main(network: str = "alexnet"):
+    print(f"== mechanism ablations on {network} ==")
+    rows = []
+    for result in run_all_ablations(network):
+        rows.append((result.name, f"x{result.slowdown:.3f}", result.description))
+    print(format_table(["mechanism removed", "cycle cost", "why"], rows))
+
+    print(f"\n== PE-group width ({network}, worst-case 5% outliers) ==")
+    sweep = sweep_group_size(network, ratio=0.05)
+    normalized = sweep.normalized()
+    rows = []
+    for lanes in sorted(normalized):
+        stall = single_or_more_outlier_probability(0.05, lanes)
+        multi = multi_outlier_probability(0.05, lanes)
+        rows.append((lanes, f"{normalized[lanes]:.3f}", f"{stall:.3f}", f"{multi:.3f}"))
+    print(format_table(
+        ["MACs/group", "cycles (vs 16)", "P(>=1 outlier)", "P(>=2 outliers)"], rows,
+    ))
+    print(
+        "\nThe paper picks 16: wider groups stall on multi-outlier chunks"
+        "\n(Fig. 17) and narrower groups under-use broadcast amortization and"
+        "\nchannel parallelism in modern architectures (ResNeXt-style branches)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "alexnet")

@@ -1,0 +1,47 @@
+"""Explore the outlier-ratio design space (Figs. 2 + 14 combined).
+
+For each outlier ratio, measures (a) quantized accuracy on the trained
+mini model and (b) OLAccel16 cycles/energy on the paper-shape AlexNet —
+the exact trade-off the paper uses to justify ~3% outliers: a ~10% cycle
+and ~20% energy premium buys back nearly all of the lost accuracy.
+
+Run:  python examples/outlier_tradeoff.py
+"""
+
+from repro.harness import fig2_accuracy_vs_ratio, fig14_ratio_sweep, format_table
+
+
+def main():
+    ratios = (0.0, 0.01, 0.02, 0.035, 0.05)
+    print("measuring accuracy (first run trains and caches the model) ...")
+    accuracy = fig2_accuracy_vs_ratio(ratios=ratios)
+    cost = fig14_ratio_sweep(ratios=ratios, with_accuracy=False)
+
+    acc_by_ratio = {p.ratio: p for p in accuracy.points}
+    cost_by_ratio = {p.ratio: p for p in cost.points}
+    rows = []
+    for ratio in ratios:
+        acc = acc_by_ratio[ratio]
+        c = cost_by_ratio[ratio]
+        rows.append(
+            (f"{ratio * 100:.1f}%", f"{acc.top1:.3f}", f"{acc.top5:.3f}",
+             f"{c.cycles:.3f}", f"{c.energy:.3f}")
+        )
+    print(
+        format_table(
+            ["outlier ratio", "top-1", "top-5", "cycles (vs 0%)", "energy (vs 0%)"],
+            rows,
+            title=f"\noutlier-ratio trade-off (full precision top-5 = {accuracy.fp_top5:.3f})",
+        )
+    )
+
+    # Pick the smallest ratio within 1.5% of full-precision top-5 — the
+    # paper's operating-point logic.
+    for ratio in ratios:
+        if acc_by_ratio[ratio].top5 >= accuracy.fp_top5 - 0.015:
+            print(f"\nsmallest ratio within 1.5% of full-precision top-5: {ratio * 100:.1f}%")
+            break
+
+
+if __name__ == "__main__":
+    main()

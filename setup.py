@@ -1,0 +1,6 @@
+"""Setup shim so `pip install -e . --no-build-isolation --no-use-pep517`
+works in offline environments that lack the `wheel` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — reproduction of "Energy-efficient Neural Network Accelerator
+Based on Outlier-aware Low-precision Computation" (Park, Kim, Yoo — ISCA
+2018).
+
+Subpackages:
+
+- :mod:`repro.nn` — numpy neural-network substrate (layers, training,
+  datasets, model zoos);
+- :mod:`repro.quant` — outlier-aware quantization (the paper's Sec. II);
+- :mod:`repro.arch` — shared accelerator infrastructure (chunk formats,
+  energy/area models, workloads);
+- :mod:`repro.olaccel` — the OLAccel simulator (Sec. III), including a
+  bit-exact functional datapath model;
+- :mod:`repro.baselines` — Eyeriss and ZeNA comparison models (Sec. IV);
+- :mod:`repro.harness` — experiment drivers regenerating every table and
+  figure in the paper's evaluation (Sec. V).
+
+Quick start::
+
+    from repro.harness import breakdown_experiment
+    print(breakdown_experiment("alexnet").format())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "quant", "arch", "olaccel", "baselines", "harness"]

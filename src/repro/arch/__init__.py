@@ -1,0 +1,80 @@
+"""Shared accelerator infrastructure: chunk formats, energy, area, stats."""
+
+from .area import (
+    AreaParams,
+    DEFAULT_AREA,
+    eyeriss_pe_area,
+    iso_area_clusters,
+    olaccel_area,
+    olaccel_cluster_area,
+    olaccel_group_area,
+    olaccel_outlier_group_area,
+    zena_pe_area,
+)
+from .chunks import (
+    LANES,
+    WEIGHT_CHUNK_BITS,
+    ActivationChunk,
+    OutlierActivation,
+    OutlierActivationFifo,
+    WeightChunk,
+    combine_outlier_weight,
+    decode_weight_nibble,
+    encode_weight_nibble,
+    split_outlier_weight,
+)
+from .act_packing import (
+    ACT_NORMAL_MAX,
+    PackedActivations,
+    pack_activations,
+    unpack_activations,
+)
+from .bitcodec import MAX_SPILL_CHUNKS, decode_chunk, decode_table, encode_chunk, encode_table
+from .memory import Footprint, OLAccelTiling, check_network, layer_footprint, olaccel_tiling
+from .energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyModel, EnergyParams
+from .packing import PackedWeights, pack_weights
+from .stats import LayerStats, RunStats
+
+__all__ = [
+    "AreaParams",
+    "DEFAULT_AREA",
+    "eyeriss_pe_area",
+    "iso_area_clusters",
+    "olaccel_area",
+    "olaccel_cluster_area",
+    "olaccel_group_area",
+    "olaccel_outlier_group_area",
+    "zena_pe_area",
+    "LANES",
+    "WEIGHT_CHUNK_BITS",
+    "ActivationChunk",
+    "OutlierActivation",
+    "OutlierActivationFifo",
+    "WeightChunk",
+    "combine_outlier_weight",
+    "decode_weight_nibble",
+    "encode_weight_nibble",
+    "split_outlier_weight",
+    "ACT_NORMAL_MAX",
+    "PackedActivations",
+    "pack_activations",
+    "unpack_activations",
+    "Footprint",
+    "OLAccelTiling",
+    "check_network",
+    "layer_footprint",
+    "olaccel_tiling",
+    "MAX_SPILL_CHUNKS",
+    "decode_chunk",
+    "decode_table",
+    "encode_chunk",
+    "encode_table",
+    "DEFAULT_ENERGY",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+    "PackedWeights",
+    "pack_weights",
+    "LayerStats",
+    "RunStats",
+]

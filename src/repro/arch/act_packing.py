@@ -1,0 +1,121 @@
+"""Packing activation tensors into the OLAccel on-chip layout.
+
+The swarm/cluster activation buffers hold the dense 4-bit stream as
+A(1x1x16) chunks (Fig. 5 bottom); activations above the calibrated
+threshold are *removed* from that stream and queued as sparse
+(value, coordinates) entries in the outlier FIFO (Fig. 9). This module
+performs the split on integer activation levels and reassembles them, so
+tests can prove the layout lossless end-to-end:
+
+    levels  ->  (dense chunk array, outlier FIFO)  ->  levels
+
+It also reports the exact storage footprint both halves occupy, which the
+energy model's activation terms are anchored to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .chunks import LANES, OutlierActivation
+
+__all__ = ["PackedActivations", "pack_activations", "unpack_activations", "ACT_NORMAL_MAX"]
+
+#: Largest level the dense 4-bit unsigned stream can hold.
+ACT_NORMAL_MAX = 15
+
+#: Outlier FIFO entry: 16-bit value + 8-bit w/h indices + 8-bit channel-chunk
+#: index (Fig. 9's OLw.idx / OLh.idx / OLc.idx).
+OUTLIER_ENTRY_BITS = 16 + 24
+
+
+@dataclass
+class PackedActivations:
+    """One layer's input activations in on-chip form.
+
+    ``dense`` is a (chunks, 16) int array of 4-bit levels in channel-major
+    chunk order: chunk ``(h, w, c_blk)`` covers channels
+    ``[16 c_blk, 16 c_blk + 16)`` at pixel ``(h, w)``. ``outliers`` carry
+    the diverted high-precision activations with their coordinates.
+    """
+
+    dense: np.ndarray
+    outliers: List[OutlierActivation] = field(default_factory=list)
+    shape: tuple = ()  # original (C, H, W)
+
+    @property
+    def n_chunks(self) -> int:
+        return self.dense.shape[0]
+
+    @property
+    def dense_bits(self) -> int:
+        """Dense stream footprint: 4 bits per slot (zeros included)."""
+        return self.dense.size * 4
+
+    @property
+    def outlier_bits(self) -> int:
+        return len(self.outliers) * OUTLIER_ENTRY_BITS
+
+    @property
+    def total_bits(self) -> int:
+        return self.dense_bits + self.outlier_bits
+
+    def nonzero_density(self) -> float:
+        """Nonzero fraction of the dense stream (drives zero-skipping)."""
+        return float(np.count_nonzero(self.dense) / self.dense.size) if self.dense.size else 0.0
+
+    def zero_quad_fraction(self) -> float:
+        """Fraction of aligned quads that are all zero (skip-cycle payers)."""
+        if self.dense.size == 0:
+            return 0.0
+        quads = self.dense.reshape(-1, 4)
+        return float((~quads.any(axis=1)).mean())
+
+
+def pack_activations(levels: np.ndarray, normal_max: int = ACT_NORMAL_MAX) -> PackedActivations:
+    """Split a (C, H, W) non-negative level tensor into dense + outliers.
+
+    Channels are padded to a multiple of 16 with zeros. Values above
+    ``normal_max`` go to the outlier FIFO and leave a zero in the dense
+    stream (they are "stored only in the swarm buffer", Sec. III-A).
+    """
+    levels = np.asarray(levels, dtype=np.int64)
+    if levels.ndim != 3:
+        raise ValueError(f"expected (C, H, W) levels, got shape {levels.shape}")
+    if levels.size and levels.min() < 0:
+        raise ValueError("activation levels must be non-negative")
+
+    c, h, w = levels.shape
+    n_blocks = -(-c // LANES)
+    padded = np.zeros((n_blocks * LANES, h, w), dtype=np.int64)
+    padded[:c] = levels
+
+    outliers: List[OutlierActivation] = []
+    is_outlier = padded > normal_max
+    for channel, row, col in zip(*np.nonzero(is_outlier)):
+        outliers.append(
+            OutlierActivation(
+                value=int(padded[channel, row, col]),
+                w_idx=int(col),
+                h_idx=int(row),
+                c_idx=int(channel),
+            )
+        )
+    dense = np.where(is_outlier, 0, padded)
+    # chunk order: (h, w, channel block) — the traversal of Fig. 6.
+    chunks = dense.reshape(n_blocks, LANES, h, w).transpose(2, 3, 0, 1).reshape(-1, LANES)
+    return PackedActivations(dense=np.ascontiguousarray(chunks), outliers=outliers, shape=(c, h, w))
+
+
+def unpack_activations(packed: PackedActivations) -> np.ndarray:
+    """Reassemble the original (C, H, W) level tensor (dense + outliers)."""
+    c, h, w = packed.shape
+    n_blocks = -(-c // LANES)
+    dense = packed.dense.reshape(h, w, n_blocks, LANES).transpose(2, 3, 0, 1).reshape(n_blocks * LANES, h, w)
+    out = dense.copy()
+    for entry in packed.outliers:
+        out[entry.c_idx, entry.h_idx, entry.w_idx] = entry.value
+    return out[:c]

@@ -1,0 +1,153 @@
+"""Bit-level serialization of weight chunks (the literal 80-bit words).
+
+:mod:`repro.arch.packing` works on structured :class:`WeightChunk`
+objects; this module lowers them to the actual 80-bit buffer words of
+Fig. 5 and raises them back, so the on-chip format is modelled down to
+the bit:
+
+====================  =======  =============================================
+field                 bits     contents
+====================  =======  =============================================
+``lanes``             64       16 x 4-bit sign-magnitude weight nibbles
+                               (lane 0 in the least-significant nibble);
+                               for a spill chunk, 16 x 4-bit unsigned MSB
+                               magnitudes (signs live in the base chunk)
+``ol_ptr``            8        spill-chunk index + 1 (0 = no spill)
+``ol_idx``            4        lane index of the single outlier
+``ol_msb``            4        unsigned MSB magnitude of the single outlier
+====================  =======  =============================================
+
+Outlier signs ride the lane nibbles ("the remaining least significant
+three bits and a sign bit ... are stored in the associated position"), so
+an outlier whose LSB magnitude is zero (e.g. level -8) still encodes its
+sign in the nibble's sign bit; the decoder reads the raw bit rather than
+the integer sign.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .chunks import LANES, WEIGHT_CHUNK_BITS, WeightChunk
+
+__all__ = ["encode_chunk", "decode_chunk", "encode_table", "decode_table", "MAX_SPILL_CHUNKS"]
+
+#: ol_ptr is 8 bits and reserves 0 for "no spill".
+MAX_SPILL_CHUNKS = 254
+
+_LANE_FIELD_BITS = 4 * LANES  # 64
+_OL_PTR_SHIFT = _LANE_FIELD_BITS
+_OL_IDX_SHIFT = _OL_PTR_SHIFT + 8
+_OL_MSB_SHIFT = _OL_IDX_SHIFT + 4
+
+
+def _nibble(magnitude: int, negative: bool) -> int:
+    if not 0 <= magnitude <= 7:
+        raise ValueError(f"lane magnitude out of range: {magnitude}")
+    return (8 if negative else 0) | magnitude
+
+
+def _lane_signs(chunk: WeightChunk, spill: Optional[WeightChunk]) -> List[bool]:
+    """Per-lane sign bits, recovering signs hidden by zero LSB magnitudes."""
+    signs = [value < 0 for value in chunk.lanes]
+    if chunk.has_single_outlier and chunk.ol_msb < 0:
+        signs[chunk.ol_idx] = True
+    if chunk.has_multi_outlier:
+        if spill is None:
+            raise ValueError("encoding a multi-outlier chunk requires its spill chunk")
+        for lane, msb in enumerate(spill.lanes):
+            if msb < 0:
+                signs[lane] = True
+    return signs
+
+
+def encode_chunk(chunk: WeightChunk, spill: Optional[WeightChunk] = None) -> int:
+    """Serialize one chunk into its 80-bit integer word.
+
+    For a multi-outlier base chunk, pass the referenced ``spill`` chunk so
+    zero-LSB outlier lanes still encode their sign bit.
+    """
+    word = 0
+    if chunk.is_spill:
+        for lane, value in enumerate(chunk.lanes):
+            magnitude = abs(value)
+            if magnitude > 15:
+                raise ValueError(f"spill MSB magnitude out of range: {value}")
+            word |= magnitude << (4 * lane)
+    else:
+        signs = _lane_signs(chunk, spill)
+        for lane, value in enumerate(chunk.lanes):
+            word |= _nibble(abs(value), signs[lane]) << (4 * lane)
+    if chunk.ol_ptr is not None:
+        if not 0 <= chunk.ol_ptr < MAX_SPILL_CHUNKS:
+            raise ValueError(f"ol_ptr out of the 8-bit field: {chunk.ol_ptr}")
+        word |= (chunk.ol_ptr + 1) << _OL_PTR_SHIFT
+    if not 0 <= chunk.ol_idx < LANES:
+        raise ValueError(f"ol_idx out of range: {chunk.ol_idx}")
+    word |= chunk.ol_idx << _OL_IDX_SHIFT
+    msb_magnitude = abs(chunk.ol_msb)
+    if msb_magnitude > 15:
+        raise ValueError(f"ol_msb out of the 4-bit field: {chunk.ol_msb}")
+    word |= msb_magnitude << _OL_MSB_SHIFT
+    assert word < (1 << WEIGHT_CHUNK_BITS)
+    return word
+
+
+def _raw_lanes(word: int) -> List[int]:
+    return [(word >> (4 * lane)) & 0xF for lane in range(LANES)]
+
+
+def decode_chunk(word: int, is_spill: bool = False) -> WeightChunk:
+    """Inverse of :func:`encode_chunk`.
+
+    Spill chunks decode their lanes as unsigned magnitudes;
+    :func:`decode_table` re-applies the signs recorded in the base chunk.
+    """
+    if not 0 <= word < (1 << WEIGHT_CHUNK_BITS):
+        raise ValueError("word does not fit the 80-bit chunk format")
+    raw = _raw_lanes(word)
+    if is_spill:
+        return WeightChunk(lanes=tuple(raw), is_spill=True)
+
+    lanes = tuple((-(n & 7) if n & 8 else n & 7) for n in raw)
+    ol_ptr_raw = (word >> _OL_PTR_SHIFT) & 0xFF
+    ol_idx = (word >> _OL_IDX_SHIFT) & 0xF
+    ol_msb = (word >> _OL_MSB_SHIFT) & 0xF
+    if ol_ptr_raw:
+        return WeightChunk(lanes=lanes, ol_ptr=ol_ptr_raw - 1)
+    if ol_msb:
+        sign = -1 if raw[ol_idx] & 8 else 1  # sign bit, not integer sign
+        return WeightChunk(lanes=lanes, ol_idx=ol_idx, ol_msb=sign * ol_msb)
+    return WeightChunk(lanes=lanes)
+
+
+def encode_table(base_chunks: List[WeightChunk], spill_chunks: List[WeightChunk]) -> Tuple[List[int], List[int]]:
+    """Serialize a packed weight table into base + spill word lists."""
+    if len(spill_chunks) > MAX_SPILL_CHUNKS:
+        raise ValueError(
+            f"{len(spill_chunks)} spill chunks exceed the 8-bit OLptr space; "
+            "split the table across buffer tiles"
+        )
+    base_words = []
+    for chunk in base_chunks:
+        spill = spill_chunks[chunk.ol_ptr] if chunk.has_multi_outlier else None
+        base_words.append(encode_chunk(chunk, spill))
+    return base_words, [encode_chunk(c) for c in spill_chunks]
+
+
+def decode_table(base_words: List[int], spill_words: List[int]) -> Tuple[List[WeightChunk], List[WeightChunk]]:
+    """Inverse of :func:`encode_table` with spill-lane signs re-applied."""
+    spills_unsigned = [decode_chunk(w, is_spill=True) for w in spill_words]
+    bases: List[WeightChunk] = []
+    signed_spills: List[WeightChunk] = list(spills_unsigned)
+    for word in base_words:
+        chunk = decode_chunk(word)
+        bases.append(chunk)
+        if chunk.has_multi_outlier:
+            raw = _raw_lanes(word)
+            spill = spills_unsigned[chunk.ol_ptr]
+            signed = tuple(
+                (-m if raw[lane] & 8 else m) for lane, m in enumerate(spill.lanes)
+            )
+            signed_spills[chunk.ol_ptr] = WeightChunk(lanes=signed, is_spill=True)
+    return bases, signed_spills

@@ -1,0 +1,145 @@
+"""On-chip buffer occupancy and tiling analysis (Table I capacities).
+
+The paper sizes per-network on-chip memories so "all the data required
+for a layer" stays on chip (Sec. IV). This module checks that claim layer
+by layer for each accelerator's storage format and derives the tiling
+consequences when a layer does *not* fit:
+
+- :func:`layer_footprint` — bits each accelerator needs resident for one
+  layer (input + output activations in its own encoding, plus the weight
+  working set);
+- :func:`check_network` — per-layer fit/spill report against a capacity;
+- :func:`olaccel_tiling` — how a layer maps onto OLAccel's small cluster
+  buffers (Fig. 5: 200-chunk weight buffer, 64-chunk activation buffer):
+  how many weight tiles the reduction splits into, and how often partial
+  sums revisit the tri-buffer as a result.
+
+Tests assert the paper-consistent facts: AlexNet's 4-bit activations fit
+the 393 KiB swarm buffer with room to spare, VGG-scale 16-bit activations
+overflow the same budget that 4-bit ones fit, and deep-layer reductions
+need multiple weight tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .chunks import LANES, WEIGHT_CHUNK_BITS
+from .workload import LayerWorkload, NetworkWorkload
+
+__all__ = ["Footprint", "layer_footprint", "check_network", "OLAccelTiling", "olaccel_tiling"]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Resident bits one layer needs in a given storage format."""
+
+    layer_name: str
+    input_bits: float
+    output_bits: float
+    weight_working_set_bits: float
+
+    @property
+    def activation_bits(self) -> float:
+        return self.input_bits + self.output_bits
+
+    def fits(self, capacity_bits: float) -> bool:
+        """Do input+output activations fit on chip (weights stream)?"""
+        return self.activation_bits <= capacity_bits
+
+    def spill_bits(self, capacity_bits: float) -> float:
+        return max(0.0, self.activation_bits - capacity_bits)
+
+
+def layer_footprint(layer: LayerWorkload, style: str, outlier_ratio: float = 0.03) -> Footprint:
+    """Footprint under one accelerator's encoding.
+
+    ``style`` is ``"eyeriss16" / "eyeriss8" / "zena16" / "zena8" /
+    "olaccel"``. Eyeriss stores dense values; ZeNA adds a one-bit zero
+    mask; OLAccel stores the 4-bit dense stream plus 40-bit outlier FIFO
+    entries, and weights as 80-bit chunks.
+    """
+    if style.startswith("eyeriss") or style.startswith("zena"):
+        bits = 16 if style.endswith("16") else 8
+        mask = 1 if style.startswith("zena") else 0
+        per_act = bits + mask
+        weight_bits = layer.weight_count * (
+            layer.weight_density * (bits + 4) if style.startswith("zena") else bits
+        )
+        return Footprint(
+            layer_name=layer.name,
+            input_bits=layer.input_count * per_act,
+            output_bits=layer.output_count * per_act,
+            weight_working_set_bits=weight_bits,
+        )
+    if style == "olaccel":
+        outlier_acts = layer.input_count * layer.act_density * (0.0 if layer.is_first else outlier_ratio)
+        in_bits = layer.input_count * 4 + outlier_acts * 40
+        if layer.is_first:
+            in_bits = layer.input_count * 16
+        return Footprint(
+            layer_name=layer.name,
+            input_bits=in_bits,
+            output_bits=layer.output_count * 4,
+            weight_working_set_bits=(layer.weight_count / LANES) * WEIGHT_CHUNK_BITS,
+        )
+    raise ValueError(f"unknown storage style {style!r}")
+
+
+def check_network(
+    network: NetworkWorkload,
+    capacity_bits: float,
+    style: str,
+) -> Dict[str, Footprint]:
+    """Per-layer footprints keyed by layer name (use ``.fits`` to test)."""
+    if capacity_bits <= 0:
+        raise ValueError("capacity must be positive")
+    return {layer.name: layer_footprint(layer, style) for layer in network.layers}
+
+
+@dataclass(frozen=True)
+class OLAccelTiling:
+    """How one layer maps onto the per-cluster buffers (Fig. 5 sizes)."""
+
+    layer_name: str
+    #: weight chunks along one output-channel group's full reduction
+    reduction_chunks: int
+    #: tiles the reduction splits into given the 200-chunk weight buffer
+    weight_tiles: int
+    #: times each output partial sum revisits the tri-buffer (one pass per tile)
+    psum_passes: int
+    #: activation chunks resident per pixel (vs the 64-chunk act buffer)
+    act_chunks_per_pixel: int
+
+    @property
+    def single_tile(self) -> bool:
+        return self.weight_tiles == 1
+
+
+def olaccel_tiling(
+    layer: LayerWorkload,
+    weight_buffer_chunks: int = 200,
+    act_buffer_chunks: int = 64,
+) -> OLAccelTiling:
+    """Tile a layer's reduction over the cluster weight buffer.
+
+    A PE group accumulates one output chunk over ``reduction_chunks``
+    weight chunks (kernel positions x input-channel chunks). When those
+    exceed the cluster weight buffer, the reduction splits into tiles and
+    each output partial sum makes one tri-buffer round trip per tile —
+    the "multiple stages of the pipeline" the paper describes for a 3x3
+    convolution (Fig. 10).
+    """
+    if weight_buffer_chunks < 1 or act_buffer_chunks < 1:
+        raise ValueError("buffer sizes must be positive")
+    in_chunks = -(-int(layer.weight_count / layer.out_channels / (layer.kernel**2)) // LANES)
+    reduction_chunks = layer.kernel * layer.kernel * max(in_chunks, 1)
+    weight_tiles = -(-reduction_chunks // weight_buffer_chunks)
+    return OLAccelTiling(
+        layer_name=layer.name,
+        reduction_chunks=reduction_chunks,
+        weight_tiles=weight_tiles,
+        psum_passes=weight_tiles,
+        act_chunks_per_pixel=max(in_chunks, 1),
+    )

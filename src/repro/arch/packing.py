@@ -1,0 +1,142 @@
+"""Packing weight tensors into OLAccel weight chunks (Fig. 5).
+
+The cluster weight buffer stores weights at the granularity of 80-bit
+chunks: 16 lanes (one per output channel of a PE group) for a single
+(kernel position, input channel) reduction index. Outlier weights are
+8-bit levels on the same step as the 4-bit normal weights; their LSB part
+stays in the lane nibble and their MSB nibble goes either into the chunk's
+``ol_msb`` field (single outlier — free, handled by the outlier MAC) or
+into a spill chunk referenced by ``ol_ptr`` (multiple outliers — the chunk
+then costs two cycles, Fig. 8).
+
+The packer is exact: :meth:`PackedWeights.unpack` reconstructs the original
+integer levels, which hypothesis round-trip tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .chunks import LANES, WEIGHT_CHUNK_BITS, WeightChunk, combine_outlier_weight, split_outlier_weight
+
+__all__ = ["PackedWeights", "pack_weights", "normal_max_level", "outlier_max_level"]
+
+#: Largest level a 4-bit sign-magnitude lane nibble can hold.
+normal_max_level = 7
+#: Largest level an 8-bit sign-magnitude outlier weight can hold.
+outlier_max_level = 127
+
+
+@dataclass
+class PackedWeights:
+    """A weight tensor packed into base + spill chunks.
+
+    ``base_chunks[g * reduction + r]`` covers output-channel group ``g`` at
+    reduction index ``r`` (reduction = flattened (in_c, kh, kw) in im2col
+    order). ``spill_chunks`` are indexed by the base chunks' ``ol_ptr``.
+    """
+
+    base_chunks: List[WeightChunk]
+    spill_chunks: List[WeightChunk]
+    n_groups: int
+    reduction: int
+    out_channels: int
+
+    @property
+    def single_outlier_chunks(self) -> int:
+        return sum(1 for c in self.base_chunks if c.has_single_outlier)
+
+    @property
+    def multi_outlier_chunks(self) -> int:
+        return sum(1 for c in self.base_chunks if c.has_multi_outlier)
+
+    @property
+    def total_chunks(self) -> int:
+        return len(self.base_chunks) + len(self.spill_chunks)
+
+    @property
+    def total_bits(self) -> int:
+        """On-chip footprint of the packed representation."""
+        return self.total_chunks * WEIGHT_CHUNK_BITS
+
+    @property
+    def multi_outlier_fraction(self) -> float:
+        """Fraction of base chunks paying the two-cycle penalty (Fig. 17)."""
+        return self.multi_outlier_chunks / len(self.base_chunks) if self.base_chunks else 0.0
+
+    def unpack(self) -> np.ndarray:
+        """Reconstruct the (out_channels, reduction) integer level matrix."""
+        levels = np.zeros((self.n_groups * LANES, self.reduction), dtype=np.int64)
+        for g in range(self.n_groups):
+            for r in range(self.reduction):
+                chunk = self.base_chunks[g * self.reduction + r]
+                lane_values = list(chunk.lanes)
+                if chunk.has_multi_outlier:
+                    spill = self.spill_chunks[chunk.ol_ptr]
+                    for lane in range(LANES):
+                        lane_values[lane] = combine_outlier_weight(spill.lanes[lane], lane_values[lane])
+                elif chunk.has_single_outlier:
+                    lane = chunk.ol_idx
+                    lane_values[lane] = combine_outlier_weight(chunk.ol_msb, lane_values[lane])
+                levels[g * LANES : (g + 1) * LANES, r] = lane_values
+        return levels[: self.out_channels]
+
+
+def pack_weights(levels: np.ndarray) -> PackedWeights:
+    """Pack a (out_channels, reduction) integer level matrix into chunks.
+
+    Levels must fit the 8-bit outlier grid [-127, 127]; levels in [-7, 7]
+    are normal, anything larger is an outlier. Output channels are padded
+    with zero lanes to a multiple of 16.
+    """
+    levels = np.asarray(levels, dtype=np.int64)
+    if levels.ndim != 2:
+        raise ValueError(f"expected a 2-D level matrix, got shape {levels.shape}")
+    if np.abs(levels).max(initial=0) > outlier_max_level:
+        raise ValueError("levels exceed the 8-bit outlier grid")
+
+    out_channels, reduction = levels.shape
+    n_groups = -(-out_channels // LANES)
+    padded = np.zeros((n_groups * LANES, reduction), dtype=np.int64)
+    padded[:out_channels] = levels
+
+    base_chunks: List[WeightChunk] = []
+    spill_chunks: List[WeightChunk] = []
+    for g in range(n_groups):
+        block = padded[g * LANES : (g + 1) * LANES]
+        for r in range(reduction):
+            lane_levels = block[:, r]
+            outlier_lanes = np.flatnonzero(np.abs(lane_levels) > normal_max_level)
+            if outlier_lanes.size == 0:
+                base_chunks.append(WeightChunk(lanes=tuple(int(v) for v in lane_levels)))
+            elif outlier_lanes.size == 1:
+                lane = int(outlier_lanes[0])
+                msb, lsb = split_outlier_weight(int(lane_levels[lane]))
+                lanes = [int(v) for v in lane_levels]
+                lanes[lane] = lsb
+                base_chunks.append(WeightChunk(lanes=tuple(lanes), ol_idx=lane, ol_msb=msb))
+            else:
+                lanes = []
+                spill_lanes = []
+                for v in lane_levels:
+                    v = int(v)
+                    if abs(v) > normal_max_level:
+                        msb, lsb = split_outlier_weight(v)
+                    else:
+                        msb, lsb = 0, v
+                    lanes.append(lsb)
+                    spill_lanes.append(msb)
+                spill_index = len(spill_chunks)
+                spill_chunks.append(WeightChunk(lanes=tuple(spill_lanes), is_spill=True))
+                base_chunks.append(WeightChunk(lanes=tuple(lanes), ol_ptr=spill_index))
+
+    return PackedWeights(
+        base_chunks=base_chunks,
+        spill_chunks=spill_chunks,
+        n_groups=n_groups,
+        reduction=reduction,
+        out_channels=out_channels,
+    )

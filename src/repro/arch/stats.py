@@ -1,0 +1,57 @@
+"""Simulation statistics containers shared by all accelerator models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .energy import EnergyBreakdown
+
+__all__ = ["LayerStats", "RunStats"]
+
+
+@dataclass
+class LayerStats:
+    """Cycle and energy outcome of simulating one layer on one accelerator."""
+
+    layer_name: str
+    cycles: float
+    energy: EnergyBreakdown
+    #: dense MAC count of the layer (for utilization reporting)
+    macs: int = 0
+    #: MAC-lane operations actually issued
+    ops_issued: float = 0.0
+    #: cycle decomposition for Fig. 18: run / skip / idle fractions
+    run_cycles: float = 0.0
+    skip_cycles: float = 0.0
+    idle_cycles: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunStats:
+    """Accumulated statistics for a whole network on one accelerator."""
+
+    accelerator: str
+    network: str
+    layers: List[LayerStats] = field(default_factory=list)
+
+    def add(self, layer: LayerStats) -> None:
+        self.layers.append(layer)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_energy(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for layer in self.layers:
+            total += layer.energy
+        return total
+
+    def cycles_by_layer(self) -> Dict[str, float]:
+        return {layer.layer_name: layer.cycles for layer in self.layers}
+
+    def energy_by_component(self) -> Dict[str, float]:
+        return self.total_energy.as_dict()

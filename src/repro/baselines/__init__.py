@@ -1,0 +1,15 @@
+"""Baseline accelerator models the paper compares against (Sec. IV)."""
+
+from .eyeriss import EyerissConfig, EyerissSimulator, eyeriss16, eyeriss8
+from .zena import ZenaConfig, ZenaSimulator, zena16, zena8
+
+__all__ = [
+    "EyerissConfig",
+    "EyerissSimulator",
+    "eyeriss16",
+    "eyeriss8",
+    "ZenaConfig",
+    "ZenaSimulator",
+    "zena16",
+    "zena8",
+]

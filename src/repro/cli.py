@@ -1,0 +1,146 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig11            # one experiment
+    python -m repro run fig11 fig13      # several
+    python -m repro run all              # everything (trains mini models
+                                         # on first use; cached afterwards)
+    python -m repro ablations            # design-choice ablations
+    python -m repro compare resnet101    # breakdown for any zoo network
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .harness import (
+    breakdown_experiment,
+    fig1_weight_distributions,
+    fig2_accuracy_vs_ratio,
+    fig3_accuracy_networks,
+    fig14_ratio_sweep,
+    fig15_scalability,
+    fig16_outlier_histogram,
+    fig17_multi_outlier,
+    fig18_utilization,
+    fig19_chunk_cycles,
+    run_all_ablations,
+    sweep_group_size,
+    table1_configurations,
+)
+from .harness.workloads import MEMORY_TABLE
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment id -> (runner, description). Runners return objects with
+#: ``format()``.
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": (fig1_weight_distributions, "weight distributions: fp vs linear vs OAQ"),
+    "fig2": (fig2_accuracy_vs_ratio, "accuracy vs outlier ratio (mini-AlexNet)"),
+    "fig3": (fig3_accuracy_networks, "4-bit OAQ accuracy across networks"),
+    "tab1": (table1_configurations, "ISO-area configurations"),
+    "fig11": (lambda: breakdown_experiment("alexnet"), "AlexNet cycle/energy breakdown"),
+    "fig12": (lambda: breakdown_experiment("vgg16"), "VGG-16 cycle/energy breakdown"),
+    "fig13": (lambda: breakdown_experiment("resnet18"), "ResNet-18 cycle/energy breakdown"),
+    "fig14": (fig14_ratio_sweep, "energy/cycles/accuracy vs outlier ratio"),
+    "fig15": (fig15_scalability, "multi-NPU scalability"),
+    "fig16": (fig16_outlier_histogram, "effective outlier-activation ratios"),
+    "fig17": (fig17_multi_outlier, "multi-outlier probability vs group width"),
+    "fig18": (fig18_utilization, "utilization breakdown per conv layer"),
+    "fig19": (fig19_chunk_cycles, "per-chunk cycle distributions"),
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (_, description) in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names: List[str] = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)} (try `list`)", file=sys.stderr)
+        return 2
+    for name in names:
+        runner, _ = EXPERIMENTS[name]
+        print(f"== {name} ==")
+        print(runner().format())
+        print()
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    for result in run_all_ablations(args.network):
+        print(result.format())
+    print()
+    print(sweep_group_size(args.network).format())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.network not in MEMORY_TABLE:
+        print(f"unknown network {args.network!r}; choices: {', '.join(MEMORY_TABLE)}", file=sys.stderr)
+        return 2
+    print(breakdown_experiment(args.network, ratio=args.ratio).format())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .harness.serialize import run_stats_rows, save_csv, save_json
+
+    if args.network not in MEMORY_TABLE:
+        print(f"unknown network {args.network!r}; choices: {', '.join(MEMORY_TABLE)}", file=sys.stderr)
+        return 2
+    result = breakdown_experiment(args.network, ratio=args.ratio)
+    rows = []
+    for run in result.runs.values():
+        rows.extend(run_stats_rows(run))
+    csv_path = save_csv(rows, f"{args.out}/{args.network}_layers.csv")
+    json_path = save_json(
+        {"cycles": result.normalized_cycles(), "energy": result.normalized_energy()},
+        f"{args.out}/{args.network}_summary.json",
+    )
+    print(f"wrote {csv_path} and {json_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the OLAccel (ISCA 2018) evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run.add_argument("experiments", nargs="+", help="experiment ids, e.g. fig11 tab1, or 'all'")
+    run.set_defaults(func=_cmd_run)
+
+    abl = sub.add_parser("ablations", help="design-choice ablations")
+    abl.add_argument("--network", default="alexnet", choices=sorted(MEMORY_TABLE))
+    abl.set_defaults(func=_cmd_ablations)
+
+    cmp_ = sub.add_parser("compare", help="cycle/energy breakdown for one network")
+    cmp_.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
+    cmp_.add_argument("--ratio", type=float, default=0.03, help="outlier ratio (default 0.03)")
+    cmp_.set_defaults(func=_cmd_compare)
+
+    export = sub.add_parser("export", help="save a breakdown as CSV + JSON")
+    export.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
+    export.add_argument("--ratio", type=float, default=0.03)
+    export.add_argument("--out", default="results", help="output directory (default ./results)")
+    export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,63 @@
+"""Experiment harness: workloads, pretrained cache, drivers, reporting."""
+
+from .ablations import (
+    AblationResult,
+    ablate_outlier_mac,
+    ablate_pipelined_accumulation,
+    ablate_zero_skip,
+    run_all_ablations,
+    sweep_group_size,
+)
+from .experiments import (
+    ALL_ACCELERATORS,
+    breakdown_experiment,
+    fig1_weight_distributions,
+    fig2_accuracy_vs_ratio,
+    fig3_accuracy_networks,
+    fig14_ratio_sweep,
+    fig15_scalability,
+    fig16_outlier_histogram,
+    fig17_multi_outlier,
+    fig18_utilization,
+    fig19_chunk_cycles,
+    table1_configurations,
+)
+from .pretrained import default_dataset, trained_mini
+from .report import bar, format_breakdown, format_series, format_table
+from .scaling import NpuSpec, ScalingModel, ScalingPoint
+from .workloads import MEMORY_TABLE, conv_only, from_quantized_model, memory_bytes, paper_workload
+
+__all__ = [
+    "AblationResult",
+    "ablate_outlier_mac",
+    "ablate_pipelined_accumulation",
+    "ablate_zero_skip",
+    "run_all_ablations",
+    "sweep_group_size",
+    "ALL_ACCELERATORS",
+    "breakdown_experiment",
+    "fig1_weight_distributions",
+    "fig2_accuracy_vs_ratio",
+    "fig3_accuracy_networks",
+    "fig14_ratio_sweep",
+    "fig15_scalability",
+    "fig16_outlier_histogram",
+    "fig17_multi_outlier",
+    "fig18_utilization",
+    "fig19_chunk_cycles",
+    "table1_configurations",
+    "default_dataset",
+    "trained_mini",
+    "bar",
+    "format_breakdown",
+    "format_series",
+    "format_table",
+    "NpuSpec",
+    "ScalingModel",
+    "ScalingPoint",
+    "MEMORY_TABLE",
+    "conv_only",
+    "from_quantized_model",
+    "memory_bytes",
+    "paper_workload",
+]

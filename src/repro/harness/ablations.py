@@ -1,0 +1,145 @@
+"""Ablation studies for OLAccel's design choices.
+
+DESIGN.md calls out four load-bearing mechanisms; each ablation disables
+or re-sizes one and measures the cost on the paper workloads:
+
+- :func:`ablate_outlier_mac` — remove the 17th MAC per group (Fig. 7):
+  every chunk containing *any* outlier now pays the two-cycle path, which
+  is exactly the naive-SIMD overhead the paper motivates in Sec. III-A.
+- :func:`ablate_zero_skip` — disable quad zero-skipping (Fig. 6).
+- :func:`ablate_pipelined_accumulation` — serialize the outlier
+  accumulation behind the dense one instead of pipelining (Fig. 10).
+- :func:`sweep_group_size` — re-run Fig. 17's group-width decision at the
+  system level: same total MAC count arranged as 8/16/32-wide groups.
+
+Each returns cycles relative to the full design, so "1.12" reads as "12%
+slower without this mechanism".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+from ..olaccel import OLAccelSimulator, olaccel16
+from .report import format_table
+from .workloads import memory_bytes, paper_workload
+
+__all__ = [
+    "AblationResult",
+    "ablate_outlier_mac",
+    "ablate_zero_skip",
+    "ablate_pipelined_accumulation",
+    "sweep_group_size",
+    "run_all_ablations",
+]
+
+
+@dataclass
+class AblationResult:
+    """Relative cost of removing one mechanism."""
+
+    name: str
+    network: str
+    baseline_cycles: float
+    ablated_cycles: float
+    description: str = ""
+
+    @property
+    def slowdown(self) -> float:
+        """Ablated cycles / full-design cycles (>= 1 means the feature helps)."""
+        return self.ablated_cycles / self.baseline_cycles
+
+    def format(self) -> str:
+        return (
+            f"{self.name} ({self.network}): x{self.slowdown:.3f} cycles without it"
+            + (f" — {self.description}" if self.description else "")
+        )
+
+
+def _run(network: str, ratio: float, **config_overrides) -> float:
+    config = replace(olaccel16(memory_bytes(network, 16), ratio), **config_overrides)
+    workload = paper_workload(network, ratio=ratio)
+    return OLAccelSimulator(config).simulate_network(workload).total_cycles
+
+
+def ablate_outlier_mac(network: str = "alexnet", ratio: float = 0.03) -> AblationResult:
+    """Cost of dropping the per-group outlier MAC unit."""
+    return AblationResult(
+        name="outlier-mac",
+        network=network,
+        baseline_cycles=_run(network, ratio),
+        ablated_cycles=_run(network, ratio, has_outlier_mac=False),
+        description="single outlier weights now cost the 2-cycle spill path",
+    )
+
+
+def ablate_zero_skip(network: str = "alexnet", ratio: float = 0.03) -> AblationResult:
+    """Cost of dropping quad-based zero-activation skipping."""
+    return AblationResult(
+        name="zero-skip",
+        network=network,
+        baseline_cycles=_run(network, ratio),
+        ablated_cycles=_run(network, ratio, zero_skip=False),
+        description="every zero activation is broadcast like a nonzero one",
+    )
+
+
+def ablate_pipelined_accumulation(network: str = "alexnet", ratio: float = 0.03) -> AblationResult:
+    """Cost of serializing outlier accumulation after the dense pass."""
+    return AblationResult(
+        name="pipelined-accumulation",
+        network=network,
+        baseline_cycles=_run(network, ratio),
+        ablated_cycles=_run(network, ratio, pipelined_accumulation=False),
+        description="outlier partial sums no longer overlap the dense pass",
+    )
+
+
+@dataclass
+class GroupSizeSweep:
+    """Cycles vs PE-group width at constant total MAC count."""
+
+    network: str
+    ratio: float
+    cycles: Dict[int, float] = field(default_factory=dict)  # lanes -> cycles
+
+    def normalized(self) -> Dict[int, float]:
+        base = self.cycles[16]
+        return {lanes: c / base for lanes, c in self.cycles.items()}
+
+    def format(self) -> str:
+        norm = self.normalized()
+        rows = [(lanes, f"{norm[lanes]:.3f}") for lanes in sorted(norm)]
+        return format_table(["MACs per group", "cycles (vs 16)"], rows,
+                            title=f"group-size sweep ({self.network}, ratio={self.ratio})")
+
+
+def sweep_group_size(
+    network: str = "alexnet",
+    ratio: float = 0.05,
+    lane_options: Sequence[int] = (8, 16, 32),
+) -> GroupSizeSweep:
+    """Fig. 17's width decision, measured in end-to-end cycles.
+
+    Total MACs are held at 768 by trading group width against group count
+    (96 MACs per cluster). Wider groups amortize broadcasts less well and
+    hit multi-outlier spills more often; the paper picks 16.
+    """
+    result = GroupSizeSweep(network=network, ratio=ratio)
+    for lanes in lane_options:
+        if 96 % lanes:
+            raise ValueError(f"lane width {lanes} does not tile the 96-MAC cluster")
+        result.cycles[lanes] = _run(
+            network, ratio, lanes=lanes, groups_per_cluster=96 // lanes
+        )
+    return result
+
+
+def run_all_ablations(network: str = "alexnet", ratio: float = 0.03) -> List[AblationResult]:
+    """All single-mechanism ablations for one network."""
+    return [
+        ablate_outlier_mac(network, ratio),
+        ablate_zero_skip(network, ratio),
+        ablate_pipelined_accumulation(network, ratio),
+    ]

@@ -1,0 +1,117 @@
+"""Trained-model cache for the accuracy experiments.
+
+Figures 1-3, 14 and 16 need trained mini models. Training takes tens of
+seconds per model, so this module trains once per (model, dataset seed)
+and caches the weights on disk under ``.cache/repro`` in the repository
+(or ``$REPRO_CACHE_DIR``). Experiments and benchmarks share the cache, so
+repeated runs are fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..nn.data import SyntheticImageDataset, make_dataset
+from ..nn.layers import BatchNorm2d
+from ..nn.model import Model
+from ..nn.train import TrainConfig, train_model
+from ..nn.zoo_mini import build_mini
+
+__all__ = ["default_dataset", "trained_mini", "cache_dir", "TRAIN_EPOCHS"]
+
+#: Hardness settings chosen so full-precision accuracy is high but 4-bit
+#: linear quantization visibly degrades it (the regime of Figs. 2-3).
+_DATASET_KWARGS = dict(
+    num_classes=16,
+    train_per_class=80,
+    test_per_class=75,
+    size=32,
+    noise=0.8,
+    jitter=5,
+    seed=7,
+)
+
+TRAIN_EPOCHS = {"alexnet": 10, "vgg": 10, "resnet": 6, "densenet": 6}
+
+_dataset_cache: Dict[int, SyntheticImageDataset] = {}
+_model_cache: Dict[Tuple[str, int], Model] = {}
+
+
+def cache_dir() -> Path:
+    """Directory for cached trained weights."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        path = Path(root)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".cache" / "repro"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def default_dataset(seed: int = 7) -> SyntheticImageDataset:
+    """The shared synthetic dataset used by all accuracy experiments."""
+    if seed not in _dataset_cache:
+        kwargs = dict(_DATASET_KWARGS)
+        kwargs["seed"] = seed
+        _dataset_cache[seed] = make_dataset(**kwargs)
+    return _dataset_cache[seed]
+
+
+def _state_path(name: str, seed: int) -> Path:
+    epochs = TRAIN_EPOCHS.get(name, 8)
+    return cache_dir() / f"{name}-seed{seed}-ep{epochs}.npz"
+
+
+def _save_state(model: Model, path: Path) -> None:
+    arrays = {}
+    for i, param in enumerate(model.parameters()):
+        arrays[f"p{i}"] = param.value
+    for i, layer in enumerate(_batchnorms(model)):
+        arrays[f"bn{i}_mean"] = layer.running_mean
+        arrays[f"bn{i}_var"] = layer.running_var
+    np.savez_compressed(path, **arrays)
+
+
+def _load_state(model: Model, path: Path) -> None:
+    with np.load(path) as data:
+        for i, param in enumerate(model.parameters()):
+            param.value = data[f"p{i}"]
+        for i, layer in enumerate(_batchnorms(model)):
+            layer.running_mean = data[f"bn{i}_mean"]
+            layer.running_var = data[f"bn{i}_var"]
+
+
+def _batchnorms(model: Model):
+    found = []
+
+    def walk(layers):
+        for layer in layers:
+            if isinstance(layer, BatchNorm2d):
+                found.append(layer)
+            walk(list(layer.children()))
+
+    walk(model.layers)
+    return found
+
+
+def trained_mini(name: str, seed: int = 7, force_retrain: bool = False) -> Model:
+    """A trained mini model, from memory, disk cache, or fresh training."""
+    key = (name, seed)
+    if not force_retrain and key in _model_cache:
+        return _model_cache[key]
+
+    dataset = default_dataset(seed)
+    model = build_mini(name, num_classes=dataset.num_classes)
+    path = _state_path(name, seed)
+    if path.exists() and not force_retrain:
+        _load_state(model, path)
+    else:
+        config = TrainConfig(epochs=TRAIN_EPOCHS.get(name, 8), batch_size=64, lr=0.01, seed=seed)
+        train_model(model, dataset.train_x, dataset.train_y, config)
+        _save_state(model, path)
+    _model_cache[key] = model
+    return model

@@ -1,0 +1,61 @@
+"""Plain-text report formatting for experiment results.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_breakdown", "bar"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float], x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as the rows behind a figure curve."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>10}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def format_breakdown(label: str, components: Dict[str, float], total: float = None) -> str:
+    """Render an energy/cycle component breakdown on one line."""
+    total = sum(components.values()) if total is None else total
+    parts = ", ".join(f"{k}={v:.4f}" for k, v in components.items())
+    return f"{label}: total={total:.4f} [{parts}]"
+
+
+def bar(value: float, scale: float = 1.0, width: int = 40) -> str:
+    """A crude ASCII bar for quick visual comparison in benchmark output."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n = max(0, min(width, int(round(value / scale * width))))
+    return "#" * n
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)

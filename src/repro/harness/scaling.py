@@ -1,0 +1,111 @@
+"""Multi-NPU scalability model (paper Fig. 15).
+
+One NPU is a full OLAccel instance (768 4-bit MACs, 16-bit outliers) or a
+ZeNA instance (168 16-bit PEs). The paper scales 1-16 NPUs at batch sizes
+1, 4 and 16, normalizing speedup to ZeNA at batch 1, and observes:
+
+- near-linear scaling at batch 4 and 16 (image-level parallelism);
+- saturation around 16 NPUs at batch 1 (intra-image parallelism has
+  diminishing returns);
+- OLAccel slightly better at batch 4 than batch 16, because batch 16's
+  higher aggregate off-chip demand hits the shared DRAM bandwidth limit.
+
+The model: ``min(N, B)`` images run concurrently; the ``k = N/B`` NPUs
+sharing one image lose efficiency to halo exchange and partial-sum merging
+(``1 / (1 + alpha (k-1))``); aggregate DRAM demand is throughput x traffic
+per image, plus a small per-concurrent-stream contention overhead that
+penalizes many independent streams, and the achieved speedup is scaled
+down when demand exceeds the shared bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..arch.stats import RunStats
+
+__all__ = ["NpuSpec", "ScalingModel", "ScalingPoint"]
+
+#: Intra-image split inefficiency per extra NPU on the same image
+#: (halo exchange and partial-sum merging overheads).
+_ALPHA = 0.04
+#: Extra bandwidth demand per additional concurrent image stream.
+_STREAM_CONTENTION = 0.015
+
+
+@dataclass(frozen=True)
+class NpuSpec:
+    """One NPU's single-image cost: cycles and DRAM traffic."""
+
+    name: str
+    cycles_per_image: float
+    dram_bits_per_image: float
+
+    @classmethod
+    def from_run(cls, run: RunStats) -> "NpuSpec":
+        dram_pj_per_bit = 20.0  # matches EnergyParams default
+        return cls(
+            name=run.accelerator,
+            cycles_per_image=run.total_cycles,
+            dram_bits_per_image=run.total_energy.dram / dram_pj_per_bit,
+        )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Speedup of one (NPU count, batch) configuration."""
+
+    n_npus: int
+    batch: int
+    speedup: float  # relative to one NPU of the same kind, batch 1
+    bandwidth_bound: bool
+
+
+class ScalingModel:
+    """Throughput scaling of identical NPUs under a shared DRAM channel."""
+
+    def __init__(
+        self,
+        spec: NpuSpec,
+        dram_bandwidth_bits_per_cycle: float = 216.0,
+        alpha: float = _ALPHA,
+        stream_contention: float = _STREAM_CONTENTION,
+    ):
+        if dram_bandwidth_bits_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.spec = spec
+        self.bandwidth = dram_bandwidth_bits_per_cycle
+        self.alpha = alpha
+        self.stream_contention = stream_contention
+
+    def intra_image_efficiency(self, k: int) -> float:
+        """Efficiency of ``k`` NPUs cooperating on a single image."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return 1.0 / (1.0 + self.alpha * (k - 1))
+
+    def speedup(self, n_npus: int, batch: int) -> ScalingPoint:
+        """Throughput speedup vs one NPU at batch 1."""
+        if n_npus < 1 or batch < 1:
+            raise ValueError("n_npus and batch must be >= 1")
+        images_in_flight = min(n_npus, batch)
+        npus_per_image = max(1, n_npus // batch)
+        compute_speedup = images_in_flight * npus_per_image * self.intra_image_efficiency(npus_per_image)
+        compute_speedup = min(compute_speedup, float(n_npus))
+
+        # Aggregate DRAM demand at that throughput, with per-stream contention.
+        traffic_rate = (
+            compute_speedup
+            * self.spec.dram_bits_per_image
+            / self.spec.cycles_per_image
+            * (1.0 + self.stream_contention * (images_in_flight - 1))
+        )
+        if traffic_rate > self.bandwidth:
+            achieved = compute_speedup * self.bandwidth / traffic_rate
+            return ScalingPoint(n_npus, batch, achieved, bandwidth_bound=True)
+        return ScalingPoint(n_npus, batch, compute_speedup, bandwidth_bound=False)
+
+    def sweep(self, npu_counts: Sequence[int], batches: Sequence[int]) -> List[ScalingPoint]:
+        """Speedups over a (NPU count x batch) grid (the Fig. 15 series)."""
+        return [self.speedup(n, b) for b in batches for n in npu_counts]

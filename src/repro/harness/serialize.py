@@ -1,0 +1,100 @@
+"""Serialization of experiment results to JSON/CSV.
+
+The figure drivers return rich dataclasses; this module flattens them to
+plain dictionaries and writes JSON or CSV so results can be archived,
+diffed across runs, or plotted outside Python. Round-trip tested for the
+structures the benchmarks produce.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+import numpy as np
+
+from ..arch.stats import LayerStats, RunStats
+
+__all__ = ["to_jsonable", "save_json", "load_json", "run_stats_rows", "save_csv"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert results (dataclasses, numpy, dicts) to JSON types."""
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {k: to_jsonable(v) for k, v in asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {_key(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def _key(key: Any) -> str:
+    """JSON object keys must be strings; tuples join with '/'."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def save_json(obj: Any, path: Union[str, Path]) -> Path:
+    """Serialize a result object to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(to_jsonable(obj), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def run_stats_rows(run: RunStats) -> List[Dict[str, Any]]:
+    """Flatten a :class:`RunStats` into one row per layer (CSV-friendly)."""
+    rows: List[Dict[str, Any]] = []
+    for layer in run.layers:
+        rows.append(
+            {
+                "accelerator": run.accelerator,
+                "network": run.network,
+                "layer": layer.layer_name,
+                "cycles": layer.cycles,
+                "macs": layer.macs,
+                "ops_issued": layer.ops_issued,
+                "run_cycles": layer.run_cycles,
+                "skip_cycles": layer.skip_cycles,
+                "idle_cycles": layer.idle_cycles,
+                "energy_dram_pj": layer.energy.dram,
+                "energy_buffer_pj": layer.energy.buffer,
+                "energy_local_pj": layer.energy.local,
+                "energy_logic_pj": layer.energy.logic,
+                "energy_total_pj": layer.energy.total,
+            }
+        )
+    return rows
+
+
+def save_csv(rows: Iterable[Dict[str, Any]], path: Union[str, Path]) -> Path:
+    """Write an iterable of uniform dict rows as CSV; returns the path."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to write")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

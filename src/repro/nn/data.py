@@ -1,0 +1,106 @@
+"""Synthetic image-classification dataset.
+
+The paper evaluates on ImageNet, which is unavailable offline. This module
+generates a procedural stand-in: each class is a distinct spatial template
+(oriented gratings, blobs, rings, checkers at class-specific frequencies,
+phases and colour mixes) rendered with per-sample jitter and additive noise.
+The task is hard enough that an untrained network sits at chance and a small
+trained CNN lands well above it, yet still degrades when quantization noise
+is injected — exactly the regime the accuracy experiments (Figs. 2–3) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SyntheticImageDataset", "make_dataset"]
+
+
+@dataclass
+class SyntheticImageDataset:
+    """A fixed train/test split of synthetic images.
+
+    Attributes:
+        train_x: (N, C, H, W) float images, roughly zero-mean unit-scale.
+        train_y: (N,) integer labels.
+        test_x / test_y: held-out split with the same generator.
+        num_classes: number of distinct templates.
+    """
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    num_classes: int
+
+
+def _class_template(rng: np.random.Generator, size: int, channels: int) -> np.ndarray:
+    """Render one class's base pattern: a random mix of structured fields."""
+    yy, xx = np.meshgrid(np.linspace(-1, 1, size), np.linspace(-1, 1, size), indexing="ij")
+    kind = rng.integers(0, 4)
+    freq = rng.uniform(1.5, 5.0)
+    theta = rng.uniform(0, np.pi)
+    phase = rng.uniform(0, 2 * np.pi)
+    u = np.cos(theta) * xx + np.sin(theta) * yy
+    if kind == 0:  # oriented grating
+        base = np.sin(2 * np.pi * freq * u + phase)
+    elif kind == 1:  # rings
+        r = np.sqrt(xx**2 + yy**2)
+        base = np.cos(2 * np.pi * freq * r + phase)
+    elif kind == 2:  # blob mixture
+        base = np.zeros_like(xx)
+        for _ in range(4):
+            cx, cy = rng.uniform(-0.7, 0.7, size=2)
+            sigma = rng.uniform(0.15, 0.4)
+            base += rng.choice([-1.0, 1.0]) * np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * sigma**2))
+    else:  # checker
+        v = -np.sin(theta) * xx + np.cos(theta) * yy
+        base = np.sign(np.sin(2 * np.pi * freq * u + phase) * np.sin(2 * np.pi * freq * v))
+    colour = rng.uniform(0.3, 1.0, size=channels) * rng.choice([-1.0, 1.0], size=channels)
+    return base[None, :, :] * colour[:, None, None]
+
+
+def _render(
+    rng: np.random.Generator,
+    templates: np.ndarray,
+    labels: np.ndarray,
+    noise: float,
+    jitter: int,
+) -> np.ndarray:
+    """Render jittered, noisy instances of the class templates."""
+    n = labels.shape[0]
+    channels, size = templates.shape[1], templates.shape[2]
+    images = np.empty((n, channels, size, size))
+    shifts = rng.integers(-jitter, jitter + 1, size=(n, 2))
+    gains = rng.uniform(0.7, 1.3, size=n)
+    for i in range(n):
+        img = np.roll(templates[labels[i]], shift=tuple(shifts[i]), axis=(1, 2))
+        images[i] = gains[i] * img
+    images += rng.normal(0.0, noise, size=images.shape)
+    return images
+
+
+def make_dataset(
+    num_classes: int = 10,
+    train_per_class: int = 200,
+    test_per_class: int = 50,
+    size: int = 32,
+    channels: int = 3,
+    noise: float = 0.35,
+    jitter: int = 3,
+    seed: int = 7,
+) -> SyntheticImageDataset:
+    """Build a train/test split of the synthetic classification task."""
+    rng = np.random.default_rng(seed)
+    templates = np.stack([_class_template(rng, size, channels) for _ in range(num_classes)])
+
+    train_y = np.repeat(np.arange(num_classes), train_per_class)
+    test_y = np.repeat(np.arange(num_classes), test_per_class)
+    rng.shuffle(train_y)
+    rng.shuffle(test_y)
+
+    train_x = _render(rng, templates, train_y, noise, jitter)
+    test_x = _render(rng, templates, test_y, noise, jitter)
+    return SyntheticImageDataset(train_x, train_y, test_x, test_y, num_classes)

@@ -1,0 +1,275 @@
+"""Core tensor operations for the numpy neural-network substrate.
+
+All activation tensors use NCHW layout: ``(batch, channels, height, width)``.
+Convolution is implemented through im2col/col2im so both the forward and the
+backward pass reduce to matrix multiplications, which is the only way to get
+acceptable training throughput out of pure numpy.
+
+These functions are the computational substrate everything else builds on:
+the trainable layers in :mod:`repro.nn.layers`, the quantized executor in
+:mod:`repro.quant.qmodel`, and the bit-exact OLAccel functional simulator in
+:mod:`repro.olaccel.functional` (which runs the same im2col loop in integer
+arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_out_size",
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_backward",
+    "linear",
+    "linear_backward",
+    "relu",
+    "relu_backward",
+    "maxpool2d",
+    "maxpool2d_backward",
+    "avgpool2d",
+    "avgpool2d_backward",
+    "softmax",
+    "cross_entropy",
+    "cross_entropy_backward",
+]
+
+
+def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial size of a convolution/pooling window sweep."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size {out} for input {size}, kernel {kernel},"
+            f" stride {stride}, pad {pad}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into patch columns.
+
+    Returns an array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
+    where each row is one receptive field, flattened channel-major. Row order
+    is (n, oh, ow); column order is (c, kh, kw). The quantized and integer
+    simulators rely on this exact ordering.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_out_size(h, kernel_h, stride, pad)
+    out_w = conv_out_size(w, kernel_w, stride, pad)
+
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+
+    # Strided sliding-window view: (N, C, out_h, out_w, kernel_h, kernel_w).
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel_h, kernel_w),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kernel_h * kernel_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch columns back to an image.
+
+    Overlapping patch contributions accumulate, which is exactly the adjoint
+    of the unfold operation and therefore what the convolution backward pass
+    needs.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_out_size(h, kernel_h, stride, pad)
+    out_w = conv_out_size(w, kernel_w, stride, pad)
+
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 1, 2, 4, 5)
+    for kh in range(kernel_h):
+        h_end = kh + stride * out_h
+        for kw in range(kernel_w):
+            w_end = kw + stride * out_w
+            padded[:, :, kh:h_end:stride, kw:w_end:stride] += patches[:, :, :, :, kh, kw]
+
+    if pad > 0:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> tuple:
+    """2-D convolution.
+
+    ``x`` is (N, C_in, H, W); ``weight`` is (C_out, C_in, K_h, K_w). Returns
+    ``(y, cache)`` where ``cache`` carries the im2col matrix for the backward
+    pass.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, k_h, k_w = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
+
+    out_h = conv_out_size(h, k_h, stride, pad)
+    out_w = conv_out_size(w, k_w, stride, pad)
+
+    cols = im2col(x, k_h, k_w, stride, pad)
+    w_mat = weight.reshape(c_out, -1)
+    y = cols @ w_mat.T
+    if bias is not None:
+        y += bias
+    y = y.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+    cache = (x.shape, cols, weight, stride, pad)
+    return np.ascontiguousarray(y), cache
+
+
+def conv2d_backward(dy: np.ndarray, cache: tuple) -> tuple:
+    """Backward pass of :func:`conv2d`.
+
+    Returns ``(dx, dweight, dbias)`` for upstream gradient ``dy`` of shape
+    (N, C_out, out_h, out_w).
+    """
+    x_shape, cols, weight, stride, pad = cache
+    c_out, c_in, k_h, k_w = weight.shape
+    n = x_shape[0]
+
+    dy_mat = dy.transpose(0, 2, 3, 1).reshape(-1, c_out)
+    dbias = dy_mat.sum(axis=0)
+    dw_mat = dy_mat.T @ cols
+    dweight = dw_mat.reshape(weight.shape)
+    dcols = dy_mat @ weight.reshape(c_out, -1)
+    dx = col2im(dcols, x_shape, k_h, k_w, stride, pad)
+    return dx, dweight, dbias
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> tuple:
+    """Fully connected layer: ``y = x @ weight.T + bias``.
+
+    ``x`` is (N, in_features); ``weight`` is (out_features, in_features).
+    """
+    y = x @ weight.T
+    if bias is not None:
+        y = y + bias
+    return y, (x, weight)
+
+
+def linear_backward(dy: np.ndarray, cache: tuple) -> tuple:
+    x, weight = cache
+    dx = dy @ weight
+    dweight = dy.T @ x
+    dbias = dy.sum(axis=0)
+    return dx, dweight, dbias
+
+
+def relu(x: np.ndarray) -> tuple:
+    y = np.maximum(x, 0.0)
+    return y, (x > 0.0)
+
+
+def relu_backward(dy: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    return dy * mask
+
+
+def maxpool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> tuple:
+    """Max pooling with square windows (no padding)."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h = conv_out_size(h, kernel, stride, 0)
+    out_w = conv_out_size(w, kernel, stride, 0)
+
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, out_h, out_w, kernel * kernel)
+    argmax = flat.argmax(axis=4)
+    y = np.take_along_axis(flat, argmax[..., None], axis=4)[..., 0]
+    cache = (x.shape, argmax, kernel, stride)
+    return y, cache
+
+
+def maxpool2d_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    x_shape, argmax, kernel, stride = cache
+    n, c, h, w = x_shape
+    out_h, out_w = dy.shape[2], dy.shape[3]
+    dx = np.zeros(x_shape, dtype=dy.dtype)
+
+    kh = argmax // kernel
+    kw = argmax % kernel
+    oh = np.arange(out_h)[None, None, :, None]
+    ow = np.arange(out_w)[None, None, None, :]
+    rows = oh * stride + kh
+    cols = ow * stride + kw
+    nn_idx = np.arange(n)[:, None, None, None]
+    cc_idx = np.arange(c)[None, :, None, None]
+    np.add.at(dx, (nn_idx, cc_idx, rows, cols), dy)
+    return dx
+
+
+def avgpool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> tuple:
+    """Average pooling with square windows (no padding)."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    out_h = conv_out_size(h, kernel, stride, 0)
+    out_w = conv_out_size(w, kernel, stride, 0)
+
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    y = windows.mean(axis=(4, 5))
+    cache = (x.shape, kernel, stride)
+    return y, cache
+
+
+def avgpool2d_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    x_shape, kernel, stride = cache
+    dx = np.zeros(x_shape, dtype=dy.dtype)
+    out_h, out_w = dy.shape[2], dy.shape[3]
+    share = dy / (kernel * kernel)
+    for kh in range(kernel):
+        for kw in range(kernel):
+            dx[:, :, kh : kh + stride * out_h : stride, kw : kw + stride * out_w : stride] += share
+    return dx
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of integer ``labels`` under ``logits``."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    picked = probs[np.arange(n), labels]
+    return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+
+def cross_entropy_backward(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Gradient of mean cross-entropy w.r.t. logits."""
+    n = logits.shape[0]
+    grad = softmax(logits)
+    grad[np.arange(n), labels] -= 1.0
+    return grad / n

@@ -1,0 +1,62 @@
+"""Magnitude pruning.
+
+The paper evaluates pruned AlexNet/VGG-16 models (Deep Compression style)
+to exercise zero-skipping, and prunes ResNet-18 "on our own". This module
+provides the same capability for the mini zoo: global or per-layer magnitude
+pruning with zero-masking, so pruned mini models feed measured weight
+densities into the cycle simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .layers import Conv2d, Linear
+from .model import Model
+
+__all__ = ["prune_layer", "prune_model", "weight_density"]
+
+
+def prune_layer(weight: np.ndarray, density: float) -> np.ndarray:
+    """Zero all but the largest-magnitude ``density`` fraction of ``weight``.
+
+    Returns a new array; ``density`` = 1 keeps everything, 0 zeroes all.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    if density >= 1.0:
+        return weight.copy()
+    flat = np.abs(weight).ravel()
+    keep = int(round(density * flat.size))
+    if keep == 0:
+        return np.zeros_like(weight)
+    threshold = np.partition(flat, flat.size - keep)[flat.size - keep]
+    pruned = weight.copy()
+    pruned[np.abs(pruned) < threshold] = 0.0
+    return pruned
+
+
+def prune_model(
+    model: Model,
+    density: float = 0.5,
+    per_layer: Optional[Dict[str, float]] = None,
+) -> Dict[str, float]:
+    """Magnitude-prune every Conv2d/Linear weight in place.
+
+    ``per_layer`` maps layer names to densities and overrides the global
+    ``density``. Returns the achieved density per layer.
+    """
+    achieved: Dict[str, float] = {}
+    for layer in model.compute_layers():
+        assert isinstance(layer, (Conv2d, Linear))
+        target = (per_layer or {}).get(layer.name, density)
+        layer.weight.value = prune_layer(layer.weight.value, target)
+        achieved[layer.name] = weight_density(layer.weight.value)
+    return achieved
+
+
+def weight_density(weight: np.ndarray) -> float:
+    """Fraction of nonzero entries."""
+    return float(np.count_nonzero(weight) / weight.size)

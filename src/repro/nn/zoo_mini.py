@@ -1,0 +1,185 @@
+"""Trainable mini versions of the paper's networks.
+
+The paper quantizes ImageNet-scale AlexNet, VGG-16, ResNet-18/101 and
+DenseNet-121. Training those in numpy is not feasible, so the accuracy
+experiments (Figs. 1–3, 14, 16) run on topology-faithful miniatures: the
+same layer *types* and block structure (plain conv stack, VGG-style double
+convs, residual blocks with projection shortcuts, dense blocks with
+concatenation), scaled to 32x32 synthetic images. What matters for the
+experiments is that each network has trained, heavy-tailed weights and ReLU
+activations — the properties outlier-aware quantization exploits — and the
+miniatures have both.
+
+Each factory takes an ``rng`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    DenseBlock,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+)
+from .model import Model
+
+__all__ = [
+    "mini_alexnet",
+    "mini_vgg",
+    "mini_resnet",
+    "mini_densenet",
+    "MINI_ZOO",
+    "build_mini",
+]
+
+
+def mini_alexnet(num_classes: int = 10, in_channels: int = 3, seed: int = 1) -> Model:
+    """Five conv layers + three FC layers, mirroring AlexNet's macro shape."""
+    rng = np.random.default_rng(seed)
+    layers: List[Layer] = [
+        Conv2d(in_channels, 16, kernel=5, stride=1, pad=2, name="conv1", rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(16, 32, kernel=5, stride=1, pad=2, name="conv2", rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(32, 48, kernel=3, stride=1, pad=1, name="conv3", rng=rng),
+        ReLU(),
+        Conv2d(48, 48, kernel=3, stride=1, pad=1, name="conv4", rng=rng),
+        ReLU(),
+        Conv2d(48, 32, kernel=3, stride=1, pad=1, name="conv5", rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(32 * 4 * 4, 128, name="fc6", rng=rng),
+        ReLU(),
+        Linear(128, 64, name="fc7", rng=rng),
+        ReLU(),
+        Linear(64, num_classes, name="fc8", rng=rng),
+    ]
+    return Model(layers, name="mini-alexnet")
+
+
+def mini_vgg(num_classes: int = 10, in_channels: int = 3, seed: int = 2) -> Model:
+    """VGG-style double-conv blocks with 3x3 kernels."""
+    rng = np.random.default_rng(seed)
+
+    def block(cin: int, cout: int, tag: str) -> List[Layer]:
+        return [
+            Conv2d(cin, cout, kernel=3, pad=1, name=f"{tag}a", rng=rng),
+            ReLU(),
+            Conv2d(cout, cout, kernel=3, pad=1, name=f"{tag}b", rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        ]
+
+    layers: List[Layer] = []
+    layers += block(in_channels, 16, "conv1")
+    layers += block(16, 32, "conv2")
+    layers += block(32, 48, "conv3")
+    layers += [
+        Flatten(),
+        Linear(48 * 4 * 4, 128, name="fc1", rng=rng),
+        ReLU(),
+        Linear(128, num_classes, name="fc2", rng=rng),
+    ]
+    return Model(layers, name="mini-vgg")
+
+
+def _res_block(cin: int, cout: int, stride: int, tag: str, rng: np.random.Generator) -> ResidualBlock:
+    body: List[Layer] = [
+        Conv2d(cin, cout, kernel=3, stride=stride, pad=1, bias=False, name=f"{tag}a", rng=rng),
+        BatchNorm2d(cout, name=f"{tag}a.bn"),
+        ReLU(),
+        Conv2d(cout, cout, kernel=3, stride=1, pad=1, bias=False, name=f"{tag}b", rng=rng),
+        BatchNorm2d(cout, name=f"{tag}b.bn"),
+    ]
+    shortcut: Optional[List[Layer]] = None
+    if stride != 1 or cin != cout:
+        shortcut = [
+            Conv2d(cin, cout, kernel=1, stride=stride, bias=False, name=f"{tag}proj", rng=rng),
+            BatchNorm2d(cout, name=f"{tag}proj.bn"),
+        ]
+    return ResidualBlock(body, shortcut)
+
+
+def mini_resnet(num_classes: int = 10, in_channels: int = 3, seed: int = 3) -> Model:
+    """Three residual stages with projection shortcuts, ResNet-18 style."""
+    rng = np.random.default_rng(seed)
+    layers: List[Layer] = [
+        Conv2d(in_channels, 16, kernel=3, pad=1, bias=False, name="stem", rng=rng),
+        BatchNorm2d(16, name="stem.bn"),
+        ReLU(),
+        _res_block(16, 16, 1, "res1a", rng),
+        _res_block(16, 16, 1, "res1b", rng),
+        _res_block(16, 32, 2, "res2a", rng),
+        _res_block(32, 32, 1, "res2b", rng),
+        _res_block(32, 64, 2, "res3a", rng),
+        _res_block(64, 64, 1, "res3b", rng),
+        GlobalAvgPool(),
+        Linear(64, num_classes, name="fc", rng=rng),
+    ]
+    return Model(layers, name="mini-resnet")
+
+
+def mini_densenet(num_classes: int = 10, in_channels: int = 3, seed: int = 4) -> Model:
+    """Two dense blocks with a pooled transition, DenseNet-121 style."""
+    rng = np.random.default_rng(seed)
+    growth = 12
+
+    def dense_stage(cin: int, tag: str) -> List[Layer]:
+        return [
+            BatchNorm2d(cin, name=f"{tag}.bn"),
+            ReLU(),
+            Conv2d(cin, growth, kernel=3, pad=1, bias=False, name=f"{tag}.conv", rng=rng),
+        ]
+
+    def dense_block(cin: int, num_stages: int, tag: str) -> DenseBlock:
+        stages = []
+        width = cin
+        for i in range(num_stages):
+            stages.append(dense_stage(width, f"{tag}.{i}"))
+            width += growth
+        return DenseBlock(stages)
+
+    c0 = 16
+    c1 = c0 + 3 * growth  # after first dense block
+    c2 = c1 // 2  # after transition
+    c3 = c2 + 3 * growth  # after second dense block
+    layers: List[Layer] = [
+        Conv2d(in_channels, c0, kernel=3, pad=1, bias=False, name="stem", rng=rng),
+        dense_block(c0, 3, "dense1"),
+        Conv2d(c1, c2, kernel=1, bias=False, name="trans1", rng=rng),
+        AvgPool2d(2),
+        dense_block(c2, 3, "dense2"),
+        BatchNorm2d(c3, name="final.bn"),
+        ReLU(),
+        GlobalAvgPool(),
+        Linear(c3, num_classes, name="fc", rng=rng),
+    ]
+    return Model(layers, name="mini-densenet")
+
+
+#: Factories for the miniatures standing in for the paper's evaluated models.
+MINI_ZOO = {
+    "alexnet": mini_alexnet,
+    "vgg": mini_vgg,
+    "resnet": mini_resnet,
+    "densenet": mini_densenet,
+}
+
+
+def build_mini(name: str, num_classes: int = 10, in_channels: int = 3) -> Model:
+    """Build a mini model by zoo name (raises ``KeyError`` on unknown names)."""
+    return MINI_ZOO[name](num_classes=num_classes, in_channels=in_channels)

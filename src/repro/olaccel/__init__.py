@@ -1,0 +1,69 @@
+"""OLAccel: the outlier-aware accelerator simulator (paper Sec. III)."""
+
+from .accelerator import OLAccelSimulator
+from .cluster import load_balance_efficiency, schedule_passes
+from .event_sim import ClusterSim, PassDescriptor, PEGroupSim, passes_from_levels
+from .mapper import LayerProgram, ModelProgram, compile_model
+from .pipeline import (
+    LayerSchedule,
+    PipelineResult,
+    bandwidth_to_compute_bound,
+    schedule_network,
+)
+from .config import OLAccelConfig, olaccel16, olaccel8
+from .functional import (
+    ACC_LIMIT,
+    FunctionalResult,
+    olaccel_conv2d,
+    reference_conv2d_int,
+    split_activation_levels,
+    split_weight_levels,
+)
+from .outlier_group import OutlierWork, outlier_work
+from .pe_group import (
+    PassCosts,
+    chunk_pass_cycles,
+    dense_pass_factor,
+    expected_pass_costs,
+    multi_outlier_probability,
+    sample_pass_cycles,
+    single_or_more_outlier_probability,
+)
+from .tribuffer import TriBuffer, accumulation_drain_cycles
+
+__all__ = [
+    "OLAccelSimulator",
+    "load_balance_efficiency",
+    "schedule_passes",
+    "ClusterSim",
+    "PassDescriptor",
+    "PEGroupSim",
+    "passes_from_levels",
+    "LayerProgram",
+    "ModelProgram",
+    "compile_model",
+    "LayerSchedule",
+    "PipelineResult",
+    "bandwidth_to_compute_bound",
+    "schedule_network",
+    "OLAccelConfig",
+    "olaccel16",
+    "olaccel8",
+    "ACC_LIMIT",
+    "FunctionalResult",
+    "olaccel_conv2d",
+    "reference_conv2d_int",
+    "split_activation_levels",
+    "split_weight_levels",
+    "OutlierWork",
+    "outlier_work",
+    "PassCosts",
+    "chunk_pass_cycles",
+    "dense_pass_factor",
+    "expected_pass_costs",
+    "multi_outlier_probability",
+    "sample_pass_cycles",
+    "single_or_more_outlier_probability",
+    "TriBuffer",
+    "accumulation_drain_cycles",
+]

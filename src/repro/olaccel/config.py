@@ -1,0 +1,107 @@
+"""OLAccel hardware configuration (paper Sec. III-A and Table I).
+
+Two reference configurations match the paper's ISO-area comparison points:
+
+- :func:`olaccel16` — the 16-bit comparison: 8 PE clusters x 6 PE groups x
+  16 4-bit MACs = 768 MACs, 16-bit outlier activations, 8-bit outlier
+  weights, 16-bit raw input activations.
+- :func:`olaccel8` — the 8-bit comparison: 6 clusters = 576 MACs, 8-bit
+  outlier activations and raw input.
+
+On-chip memory (the swarm buffer) is per-network, matching Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.chunks import LANES
+
+__all__ = ["OLAccelConfig", "olaccel16", "olaccel8"]
+
+
+@dataclass(frozen=True)
+class OLAccelConfig:
+    """Structural and precision parameters of one OLAccel instance."""
+
+    name: str = "olaccel16"
+    n_clusters: int = 8
+    groups_per_cluster: int = 6
+    lanes: int = LANES
+    act_bits: int = 4
+    weight_bits: int = 4
+    weight_outlier_bits: int = 8
+    act_outlier_bits: int = 16
+    acc_bits: int = 24
+    raw_input_bits: int = 16
+    #: target outlier ratio used for packing statistics
+    outlier_ratio: float = 0.03
+    #: swarm buffer capacity in bytes (Table I: per-network)
+    swarm_buffer_bytes: int = 393 * 1024
+    #: cluster weight buffer: 200 chunks of 80 bits (Fig. 5)
+    cluster_weight_chunks: int = 200
+    #: cluster activation buffer: 64 chunks of 64 bits (Fig. 5)
+    cluster_act_chunks: int = 64
+    #: group activation buffer: 2 chunks (Fig. 5)
+    group_act_chunks: int = 2
+    #: fraction of peak group throughput achieved after dispatch/control
+    #: overheads and transient starvation (the idle share in Fig. 18)
+    dispatch_efficiency: float = 0.8
+    clock_mhz: float = 250.0
+    # -- ablation switches (all True in the paper's design) ---------------
+    #: the 17th MAC per group that absorbs single outlier weights (Fig. 7);
+    #: without it every chunk with >= 1 outlier costs the 2-cycle path
+    has_outlier_mac: bool = True
+    #: quad-based zero-activation skipping (Fig. 6)
+    zero_skip: bool = True
+    #: pipelined normal/outlier accumulation through the tri-buffer
+    #: (Fig. 10); without it the outlier path serializes after the dense one
+    pipelined_accumulation: bool = True
+
+    @property
+    def n_groups(self) -> int:
+        """Total number of normal PE groups."""
+        return self.n_clusters * self.groups_per_cluster
+
+    @property
+    def n_macs(self) -> int:
+        """Total normal 4-bit MAC count (the paper's 768 / 576)."""
+        return self.n_groups * self.lanes
+
+    @property
+    def n_outlier_groups(self) -> int:
+        """One outlier PE group per cluster (Fig. 4)."""
+        return self.n_clusters
+
+    @property
+    def swarm_buffer_bits(self) -> int:
+        return self.swarm_buffer_bytes * 8
+
+    def with_swarm_buffer(self, nbytes: int) -> "OLAccelConfig":
+        from dataclasses import replace
+
+        return replace(self, swarm_buffer_bytes=nbytes)
+
+
+def olaccel16(swarm_buffer_bytes: int = 393 * 1024, outlier_ratio: float = 0.03) -> OLAccelConfig:
+    """The paper's 16-bit comparison configuration (768 4-bit MACs)."""
+    return OLAccelConfig(
+        name="olaccel16",
+        n_clusters=8,
+        act_outlier_bits=16,
+        raw_input_bits=16,
+        swarm_buffer_bytes=swarm_buffer_bytes,
+        outlier_ratio=outlier_ratio,
+    )
+
+
+def olaccel8(swarm_buffer_bytes: int = 196 * 1024, outlier_ratio: float = 0.03) -> OLAccelConfig:
+    """The paper's 8-bit comparison configuration (576 4-bit MACs)."""
+    return OLAccelConfig(
+        name="olaccel8",
+        n_clusters=6,
+        act_outlier_bits=8,
+        raw_input_bits=8,
+        swarm_buffer_bytes=swarm_buffer_bytes,
+        outlier_ratio=outlier_ratio,
+    )

@@ -1,0 +1,226 @@
+"""Cycle-stepped microarchitectural simulation of one PE cluster.
+
+The analytic model in :mod:`repro.olaccel.accelerator` aggregates expected
+pass costs; this module instead *steps the hardware cycle by cycle* for
+small layers, faithfully modelling:
+
+- the PE-group front end: quad-at-a-time zero scanning (one cycle per
+  all-zero quad), one broadcast cycle per nonzero activation, a stall
+  cycle when the paired weight chunk spills (``ol_ptr`` set, Fig. 8);
+- dynamic pass dispatch: each cycle, every idle group grabs the next
+  pending pass from the cluster queue (Fig. 6's ready-group allocation);
+- the outlier PE group draining the outlier-activation FIFO one broadcast
+  per cycle (Fig. 9);
+- the accumulation back end: the normal unit merges at most two group
+  results per cycle and the outlier unit one, a stage behind, through the
+  tri-buffer (Fig. 10) — results queue up when the units are saturated.
+
+It exists to *cross-validate* the fast analytic model: tests drive both on
+identical workloads and require agreement, and
+:func:`simulate_layer_exact` runs real quantized tensors through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..arch.chunks import LANES
+from .tribuffer import TriBuffer
+
+__all__ = ["PassDescriptor", "PEGroupSim", "ClusterSim", "ClusterResult", "passes_from_levels"]
+
+
+@dataclass(frozen=True)
+class PassDescriptor:
+    """One unit of PE-group work: an activation chunk against weight chunks.
+
+    ``activations`` is the 16-lane chunk (normal-stream levels, outliers
+    already diverted); ``spill`` flags, per lane, whether the weight chunk
+    consumed by that lane's broadcast has multiple outliers (2-cycle op).
+    """
+
+    activations: Sequence[int]
+    spill: Sequence[bool]
+
+    def __post_init__(self):
+        if len(self.activations) != LANES or len(self.spill) != LANES:
+            raise ValueError(f"pass descriptors are {LANES} lanes wide")
+
+
+#: Micro-operations a PE group front end executes, one per cycle.
+_OP_SKIP = "skip"  # an all-zero quad scanned away
+_OP_BCAST = "bcast"  # a nonzero activation broadcast to the 17 MACs
+_OP_STALL = "stall"  # second cycle of a spilled (multi-outlier) chunk
+
+
+def _micro_schedule(work: PassDescriptor) -> List[str]:
+    """Expand one pass into its exact per-cycle micro-op sequence.
+
+    The front end scans activations a quad at a time: an all-zero quad
+    costs one skip cycle; each nonzero lane costs a broadcast cycle, plus
+    a stall cycle when its weight chunk spills (Fig. 8). Zero lanes inside
+    a quad that also has nonzeros are free — the quad's nonzero mask is
+    known the cycle it is read.
+    """
+    ops: List[str] = []
+    for quad in range(LANES // 4):
+        lanes = range(quad * 4, quad * 4 + 4)
+        nonzero = [lane for lane in lanes if work.activations[lane] != 0]
+        if not nonzero:
+            ops.append(_OP_SKIP)
+            continue
+        for lane in nonzero:
+            ops.append(_OP_BCAST)
+            if work.spill[lane]:
+                ops.append(_OP_STALL)
+    return ops
+
+
+class PEGroupSim:
+    """One PE group's front end as a cycle-stepped state machine."""
+
+    def __init__(self) -> None:
+        self._ops: List[str] = []
+        self.busy_cycles = 0
+        self.skip_cycles = 0
+        self.run_cycles = 0
+        self.completed_passes = 0
+
+    @property
+    def idle(self) -> bool:
+        return not self._ops
+
+    def start(self, work: PassDescriptor) -> None:
+        if not self.idle:
+            raise RuntimeError("group is busy")
+        self._ops = _micro_schedule(work)
+        if not self._ops:  # cannot happen: 4 quads always emit >= 4 ops
+            self.completed_passes += 1
+
+    def step(self) -> bool:
+        """Advance one cycle; returns True if a pass completed this cycle."""
+        if self.idle:
+            return False
+        self.busy_cycles += 1
+        op = self._ops.pop(0)
+        if op == _OP_SKIP:
+            self.skip_cycles += 1
+        else:
+            self.run_cycles += 1
+        if not self._ops:
+            self.completed_passes += 1
+            return True
+        return False
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of a cycle-stepped cluster run."""
+
+    cycles: int
+    run_cycles: int
+    skip_cycles: int
+    idle_cycles: int
+    outlier_cycles: int
+    accumulation_stalls: int
+    passes: int
+    tri_buffer_conflict_free: bool
+
+
+class ClusterSim:
+    """A PE cluster: N group front ends + outlier group + accumulation."""
+
+    def __init__(self, n_groups: int = 6, accumulation_bandwidth: int = 2):
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        self.n_groups = n_groups
+        self.accumulation_bandwidth = accumulation_bandwidth
+        self.groups = [PEGroupSim() for _ in range(n_groups)]
+
+    def run(
+        self,
+        passes: Sequence[PassDescriptor],
+        outlier_broadcasts: int = 0,
+        max_cycles: int = 10_000_000,
+    ) -> ClusterResult:
+        """Run all passes to completion and return cycle statistics."""
+        queue: List[PassDescriptor] = list(passes)
+        pending_results = 0  # group results waiting for the normal accum unit
+        accumulated = 0
+        stalls = 0
+        outlier_left = int(outlier_broadcasts)
+        outlier_done = 0
+        tri = TriBuffer()
+
+        cycle = 0
+        while cycle < max_cycles:
+            work_left = queue or any(not g.idle for g in self.groups)
+            if not work_left and pending_results == 0 and outlier_left == 0:
+                break
+            cycle += 1
+
+            # Dispatch: every idle group takes the next pending pass.
+            for group in self.groups:
+                if group.idle and queue:
+                    group.start(queue.pop(0))
+
+            # Step the front ends.
+            for group in self.groups:
+                if group.step():
+                    pending_results += 1
+
+            # Outlier PE group: one broadcast per cycle.
+            if outlier_left > 0:
+                outlier_left -= 1
+                outlier_done += 1
+
+            # Accumulation back end through the tri-buffer.
+            if pending_results > 0:
+                tri.step()
+                merged = min(pending_results, self.accumulation_bandwidth)
+                accumulated += merged
+                if pending_results > self.accumulation_bandwidth:
+                    stalls += 1
+                pending_results -= merged
+        else:
+            raise RuntimeError(f"cluster did not converge within {max_cycles} cycles")
+
+        run = sum(g.run_cycles for g in self.groups)
+        skip = sum(g.skip_cycles for g in self.groups)
+        busy = sum(g.busy_cycles for g in self.groups)
+        return ClusterResult(
+            cycles=cycle,
+            run_cycles=run,
+            skip_cycles=skip,
+            idle_cycles=cycle * self.n_groups - busy,
+            outlier_cycles=outlier_done,
+            accumulation_stalls=stalls,
+            passes=sum(g.completed_passes for g in self.groups),
+            tri_buffer_conflict_free=tri.conflict_free,
+        )
+
+
+def passes_from_levels(
+    act_levels: np.ndarray,
+    spill_flags: Optional[np.ndarray] = None,
+) -> List[PassDescriptor]:
+    """Build pass descriptors from an (n_passes, 16) activation level array.
+
+    ``spill_flags`` (same shape, boolean) marks lanes whose weight chunk
+    has multiple outliers; defaults to no spills.
+    """
+    act_levels = np.asarray(act_levels, dtype=np.int64)
+    if act_levels.ndim != 2 or act_levels.shape[1] != LANES:
+        raise ValueError(f"expected (n, {LANES}) activation levels, got {act_levels.shape}")
+    if spill_flags is None:
+        spill_flags = np.zeros(act_levels.shape, dtype=bool)
+    spill_flags = np.asarray(spill_flags, dtype=bool)
+    if spill_flags.shape != act_levels.shape:
+        raise ValueError("spill_flags must match act_levels shape")
+    return [
+        PassDescriptor(tuple(int(v) for v in row), tuple(bool(s) for s in srow))
+        for row, srow in zip(act_levels, spill_flags)
+    ]

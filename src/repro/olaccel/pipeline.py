@@ -1,0 +1,148 @@
+"""Bandwidth-aware network pipeline: overlap of compute and DRAM traffic.
+
+The per-layer simulator counts compute cycles; a deployed OLAccel also
+streams each layer's weight chunks from DRAM, double-buffered so the
+transfer of layer *i+1*'s weights overlaps layer *i*'s compute (standard
+practice, and the effect behind the paper's Fig. 15 bandwidth ceiling).
+This module schedules a whole network under a finite DRAM bandwidth:
+
+- per layer, transfer time = weight bits / bandwidth;
+- with double buffering, layer *i* starts once its weights are resident
+  *and* the previous layer's compute is done;
+- a layer is **memory-bound** when its weight transfer, not its compute,
+  dominates its slot (AlexNet-style FC layers at batch 1 are the classic
+  case).
+
+Outputs per-layer start/end times and the network's bandwidth-bound share,
+so experiments can ask "how much bandwidth until compute-bound?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..arch.stats import RunStats
+from ..arch.workload import NetworkWorkload
+from .accelerator import OLAccelSimulator
+
+__all__ = ["LayerSchedule", "PipelineResult", "schedule_network", "bandwidth_to_compute_bound"]
+
+
+@dataclass(frozen=True)
+class LayerSchedule:
+    """Timing of one layer in the double-buffered pipeline (cycles)."""
+
+    name: str
+    compute_cycles: float
+    transfer_cycles: float
+    start: float
+    end: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.transfer_cycles > self.compute_cycles
+
+
+@dataclass
+class PipelineResult:
+    """Whole-network schedule under a bandwidth constraint."""
+
+    bandwidth_bits_per_cycle: float
+    layers: List[LayerSchedule] = field(default_factory=list)
+    compute_cycles: float = 0.0  # sum of pure compute
+
+    @property
+    def makespan(self) -> float:
+        return self.layers[-1].end if self.layers else 0.0
+
+    @property
+    def stall_cycles(self) -> float:
+        """Extra cycles beyond pure compute caused by weight transfers."""
+        return self.makespan - self.compute_cycles
+
+    @property
+    def memory_bound_layers(self) -> List[str]:
+        return [l.name for l in self.layers if l.memory_bound]
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        return self.stall_cycles > 1e-9
+
+
+def _weight_transfer_bits(run: RunStats, network: NetworkWorkload) -> List[float]:
+    """Per-layer packed-weight DRAM bits (5 bits/weight + spill chunks)."""
+    bits = []
+    for layer, stats in zip(network.layers, run.layers):
+        multi = stats.extras.get("multi_outlier_fraction", 0.0)
+        chunk_count = layer.weight_count / 16.0 * (1.0 + multi)
+        if layer.is_first and layer.first_weight_bits > 4:
+            chunk_count = layer.weight_count / 16.0 * (layer.first_weight_bits / 4.0)
+        bits.append(chunk_count * 80.0)
+    return bits
+
+
+def schedule_network(
+    network: NetworkWorkload,
+    simulator: OLAccelSimulator = None,
+    bandwidth_bits_per_cycle: float = 216.0,
+) -> PipelineResult:
+    """Schedule all layers with double-buffered weight streaming."""
+    if bandwidth_bits_per_cycle <= 0:
+        raise ValueError("bandwidth must be positive")
+    simulator = simulator or OLAccelSimulator()
+    run = simulator.simulate_network(network)
+    transfers = [bits / bandwidth_bits_per_cycle for bits in _weight_transfer_bits(run, network)]
+
+    result = PipelineResult(bandwidth_bits_per_cycle=bandwidth_bits_per_cycle)
+    compute_done = 0.0  # when the previous layer's compute finished
+    transfer_done = 0.0  # when the DMA engine becomes free
+    for layer_stats, transfer in zip(run.layers, transfers):
+        # Weights stream as soon as the DMA is free (prefetch)...
+        transfer_start = transfer_done
+        transfer_end = transfer_start + transfer
+        transfer_done = transfer_end
+        # ...and compute starts when both the weights and the PE array are ready.
+        start = max(compute_done, transfer_end)
+        end = start + layer_stats.cycles
+        compute_done = end
+        result.layers.append(
+            LayerSchedule(
+                name=layer_stats.layer_name,
+                compute_cycles=layer_stats.cycles,
+                transfer_cycles=transfer,
+                start=start,
+                end=end,
+            )
+        )
+    result.compute_cycles = run.total_cycles
+    return result
+
+
+def bandwidth_to_compute_bound(
+    network: NetworkWorkload,
+    simulator: OLAccelSimulator = None,
+    tolerance: float = 0.01,
+    lo: float = 1.0,
+    hi: float = 100000.0,
+) -> float:
+    """Smallest DRAM bandwidth (bits/cycle) with < ``tolerance`` stall share.
+
+    Binary search over the pipeline model; answers "how much memory
+    bandwidth does this network need before OLAccel is compute-bound?".
+    """
+    simulator = simulator or OLAccelSimulator()
+
+    def stall_share(bw: float) -> float:
+        result = schedule_network(network, simulator, bw)
+        return result.stall_cycles / result.compute_cycles
+
+    if stall_share(hi) > tolerance:
+        raise ValueError("even the search upper bound is bandwidth-starved")
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if stall_share(mid) > tolerance:
+            lo = mid
+        else:
+            hi = mid
+    return hi

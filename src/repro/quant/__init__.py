@@ -1,0 +1,75 @@
+"""Outlier-aware quantization library (paper Sec. II).
+
+- :mod:`repro.quant.linear` — sign-magnitude integer grids, linear baseline;
+- :mod:`repro.quant.outlier` — outlier-aware quantization of weights and
+  activations on a shared integer step;
+- :mod:`repro.quant.calibrate` — static per-layer activation thresholds
+  from sample inputs;
+- :mod:`repro.quant.qmodel` — fake-quant inference over a trained model;
+- :mod:`repro.quant.metrics` — quantization error metrics.
+"""
+
+from .alternatives import (
+    QUANTIZER_REGISTRY,
+    QuantizerSpec,
+    compare_quantizers,
+    quantize_balanced,
+    quantize_clipped,
+    quantize_log,
+)
+from .calibrate import (
+    CalibrationResult,
+    LayerCalibration,
+    calibrate_activation_thresholds,
+    effective_outlier_ratios,
+)
+from .linear import LinearQuantizer, quantize_linear, signed_levels, unsigned_levels
+from .metrics import DistributionSummary, level_occupancy, max_abs_error, mse, sqnr_db, summarize
+from .outlier import (
+    OutlierQuantConfig,
+    QuantizedTensor,
+    magnitude_threshold,
+    quantize_activations,
+    quantize_weights,
+)
+from .finetune import FinetuneConfig, finetune_quantized, quantized_weight_view
+from .qmodel import LayerQuantStats, QuantConfig, QuantizedModel
+from .sensitivity import LayerSensitivity, SensitivityReport, layer_sensitivity, leave_one_out
+
+__all__ = [
+    "QUANTIZER_REGISTRY",
+    "QuantizerSpec",
+    "compare_quantizers",
+    "quantize_balanced",
+    "quantize_clipped",
+    "quantize_log",
+    "FinetuneConfig",
+    "finetune_quantized",
+    "quantized_weight_view",
+    "LayerSensitivity",
+    "SensitivityReport",
+    "layer_sensitivity",
+    "leave_one_out",
+    "CalibrationResult",
+    "LayerCalibration",
+    "calibrate_activation_thresholds",
+    "effective_outlier_ratios",
+    "LinearQuantizer",
+    "quantize_linear",
+    "signed_levels",
+    "unsigned_levels",
+    "DistributionSummary",
+    "level_occupancy",
+    "max_abs_error",
+    "mse",
+    "sqnr_db",
+    "summarize",
+    "OutlierQuantConfig",
+    "QuantizedTensor",
+    "magnitude_threshold",
+    "quantize_activations",
+    "quantize_weights",
+    "LayerQuantStats",
+    "QuantConfig",
+    "QuantizedModel",
+]

@@ -1,0 +1,148 @@
+"""Alternative quantizers from the paper's Related Work (Sec. VI).
+
+The paper positions OAQ against several quantization families; this
+module implements the ones that need no retraining, so the repository can
+reproduce the *comparison* and not just the winner:
+
+- :func:`quantize_clipped` — linear quantization over a clipped range
+  (the truncation many conventional pipelines apply, and the range-
+  clipping idea behind DoReFa's bounded activations);
+- :func:`quantize_log` — logarithmic (power-of-two level) quantization
+  (Miyashita et al. [23]);
+- :func:`quantize_balanced` — percentile-balanced levels that equalize
+  level populations (Zhou et al. [24]), implemented as quantile bins;
+- :class:`QuantizerSpec` + :func:`compare_quantizers` — a small registry
+  so experiments can sweep families uniformly.
+
+All operate per-tensor, return round-tripped real values, and are pitted
+against OAQ in ``benchmarks/bench_ext_quantizers.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from .linear import LinearQuantizer
+from .metrics import mse, sqnr_db
+from .outlier import quantize_weights
+
+__all__ = [
+    "quantize_clipped",
+    "quantize_log",
+    "quantize_balanced",
+    "QuantizerSpec",
+    "QUANTIZER_REGISTRY",
+    "compare_quantizers",
+]
+
+
+def quantize_clipped(x: np.ndarray, bits: int = 4, clip_quantile: float = 0.99) -> np.ndarray:
+    """Linear quantization over a clipped range.
+
+    Values beyond the ``clip_quantile`` magnitude are saturated to the
+    grid edge — the conventional way to stop outliers from wasting levels,
+    at the price of distorting exactly the large values OAQ preserves.
+    """
+    if not 0.0 < clip_quantile <= 1.0:
+        raise ValueError(f"clip_quantile must be in (0, 1], got {clip_quantile}")
+    flat = np.abs(np.asarray(x, dtype=np.float64)).ravel()
+    if flat.size == 0:
+        return np.asarray(x, dtype=np.float64).copy()
+    clip = float(np.quantile(flat, clip_quantile))
+    return LinearQuantizer.from_range(clip, bits=bits).roundtrip(x)
+
+
+def quantize_log(x: np.ndarray, bits: int = 4) -> np.ndarray:
+    """Logarithmic quantization: levels are signed powers of two.
+
+    ``bits`` budgets one sign bit, one zero code, and ``2^(bits-1) - 1``
+    exponent steps below the maximum magnitude. Matches Miyashita et
+    al.'s observation that log grids cover wide dynamic ranges cheaply
+    but space levels coarsely near the top.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return x.copy()
+    max_abs = float(np.abs(x).max())
+    if max_abs == 0.0:
+        return np.zeros_like(x)
+    n_exponents = 2 ** (bits - 1) - 1
+    top = np.ceil(np.log2(max_abs))
+    exponents = top - np.arange(n_exponents)  # descending powers of two
+
+    mags = np.abs(x)
+    out = np.zeros_like(x)
+    nonzero = mags > 0
+    # Round magnitude to the nearest representable power of two (in log space).
+    log_mags = np.log2(mags[nonzero])
+    idx = np.clip(np.rint(top - log_mags), 0, n_exponents - 1).astype(np.int64)
+    out[nonzero] = np.sign(x[nonzero]) * 2.0 ** exponents[idx]
+    # The smallest exponent also acts as the underflow-to-zero boundary.
+    underflow = nonzero & (mags < 2.0 ** (exponents[-1] - 1))
+    out[underflow] = 0.0
+    return out
+
+
+def quantize_balanced(x: np.ndarray, bits: int = 4) -> np.ndarray:
+    """Percentile-balanced quantization: equal-population levels.
+
+    Level boundaries are value quantiles, so every level represents the
+    same number of elements (Zhou et al.'s "balanced" histogram). Each
+    level reconstructs to the mean of its bin.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        return x.copy()
+    n_levels = 2**bits
+    edges = np.quantile(x.ravel(), np.linspace(0.0, 1.0, n_levels + 1))
+    # Degenerate distributions can produce duplicate edges.
+    edges = np.unique(edges)
+    if edges.size < 2:
+        return np.full_like(x, float(edges[0]) if edges.size else 0.0)
+    bins = np.clip(np.searchsorted(edges, x.ravel(), side="right") - 1, 0, edges.size - 2)
+    centers = np.empty(edges.size - 1)
+    flat = x.ravel()
+    for b in range(edges.size - 1):
+        members = flat[bins == b]
+        centers[b] = members.mean() if members.size else 0.5 * (edges[b] + edges[b + 1])
+    return centers[bins].reshape(x.shape)
+
+
+def _oaq_roundtrip(x: np.ndarray, bits: int = 4) -> np.ndarray:
+    return quantize_weights(x, ratio=0.03, normal_bits=bits).dequantize()
+
+
+def _linear_roundtrip(x: np.ndarray, bits: int = 4) -> np.ndarray:
+    max_abs = float(np.abs(x).max()) if np.asarray(x).size else 0.0
+    return LinearQuantizer.from_range(max_abs, bits=bits).roundtrip(x)
+
+
+@dataclass(frozen=True)
+class QuantizerSpec:
+    """A named quantizer for comparison sweeps."""
+
+    name: str
+    fn: Callable[[np.ndarray, int], np.ndarray]
+    description: str
+
+
+QUANTIZER_REGISTRY: Dict[str, QuantizerSpec] = {
+    "linear": QuantizerSpec("linear", _linear_roundtrip, "full-range linear (no truncation)"),
+    "clipped": QuantizerSpec("clipped", quantize_clipped, "linear over the 99th-percentile range"),
+    "log": QuantizerSpec("log", quantize_log, "power-of-two levels (Miyashita et al.)"),
+    "balanced": QuantizerSpec("balanced", quantize_balanced, "equal-population levels (Zhou et al.)"),
+    "oaq": QuantizerSpec("oaq", _oaq_roundtrip, "outlier-aware, 3% high-precision outliers"),
+}
+
+
+def compare_quantizers(x: np.ndarray, bits: int = 4, names: List[str] = None) -> Dict[str, Dict[str, float]]:
+    """MSE and SQNR of each registered quantizer on one tensor."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names or list(QUANTIZER_REGISTRY):
+        spec = QUANTIZER_REGISTRY[name]
+        quantized = spec.fn(x, bits)
+        results[name] = {"mse": mse(x, quantized), "sqnr_db": sqnr_db(x, quantized)}
+    return results

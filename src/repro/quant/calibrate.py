@@ -1,0 +1,113 @@
+"""Static activation-threshold calibration (Sec. II).
+
+Computing activation histograms at runtime would be expensive, so the paper
+runs ~100 sample inputs through the network offline, records each layer's
+input-activation distribution, and fixes a per-layer magnitude threshold at
+the (1 - outlier_ratio) quantile of the *nonzero* activations. At runtime an
+activation is an outlier iff it exceeds the stored threshold — a single
+compare. Fig. 16 then checks that the *effective* runtime outlier ratio on
+held-out inputs clusters around the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..nn.model import Model
+from .outlier import magnitude_threshold
+
+__all__ = ["LayerCalibration", "CalibrationResult", "calibrate_activation_thresholds", "effective_outlier_ratios"]
+
+
+@dataclass(frozen=True)
+class LayerCalibration:
+    """Calibrated statistics for one compute layer's input activations."""
+
+    layer_index: int
+    layer_name: str
+    threshold: float
+    signed: bool  # True when the layer sees raw (not post-ReLU) input
+    nonzero_density: float
+
+
+@dataclass
+class CalibrationResult:
+    """Per-layer thresholds plus the target ratio they were calibrated for."""
+
+    ratio: float
+    layers: List[LayerCalibration] = field(default_factory=list)
+
+    def threshold(self, layer_index: int) -> float:
+        return self.layers[layer_index].threshold
+
+    def by_name(self) -> Dict[str, LayerCalibration]:
+        return {cal.layer_name: cal for cal in self.layers}
+
+
+def calibrate_activation_thresholds(
+    model: Model,
+    sample_inputs: np.ndarray,
+    ratio: float = 0.03,
+    batch_size: int = 32,
+) -> CalibrationResult:
+    """Derive per-layer activation thresholds from sample inputs.
+
+    ``sample_inputs`` plays the role of the paper's 100 randomly sampled
+    images. Quantiles are computed over the activations pooled across all
+    sample batches.
+    """
+    compute = model.compute_layers()
+    pooled: Dict[int, List[np.ndarray]] = {i: [] for i in range(len(compute))}
+    for start in range(0, sample_inputs.shape[0], batch_size):
+        captured = model.record_activations(sample_inputs[start : start + batch_size])
+        for index, act in captured.items():
+            pooled[index].append(act.ravel())
+
+    result = CalibrationResult(ratio=ratio)
+    for index, layer in enumerate(compute):
+        acts = np.concatenate(pooled[index]) if pooled[index] else np.zeros(0)
+        signed = bool(np.any(acts < 0))
+        threshold = magnitude_threshold(acts, ratio, over_nonzero=True)
+        density = float(np.count_nonzero(acts) / acts.size) if acts.size else 0.0
+        result.layers.append(
+            LayerCalibration(
+                layer_index=index,
+                layer_name=getattr(layer, "name", f"layer{index}"),
+                threshold=threshold,
+                signed=signed,
+                nonzero_density=density,
+            )
+        )
+    return result
+
+
+def effective_outlier_ratios(
+    model: Model,
+    calibration: CalibrationResult,
+    inputs: np.ndarray,
+    batch_size: int = 32,
+) -> Dict[str, float]:
+    """Measure the runtime outlier ratio per layer on held-out inputs.
+
+    Returns, per layer, outliers / nonzero activations — the quantity
+    Fig. 16 histograms (it should cluster near the calibration target).
+    """
+    compute = model.compute_layers()
+    outliers = np.zeros(len(compute))
+    nonzeros = np.zeros(len(compute))
+    for start in range(0, inputs.shape[0], batch_size):
+        captured = model.record_activations(inputs[start : start + batch_size])
+        for index, act in captured.items():
+            threshold = calibration.layers[index].threshold
+            mags = np.abs(act)
+            outliers[index] += int((mags > threshold).sum())
+            nonzeros[index] += int(np.count_nonzero(act))
+
+    ratios: Dict[str, float] = {}
+    for cal in calibration.layers:
+        denom = nonzeros[cal.layer_index]
+        ratios[cal.layer_name] = float(outliers[cal.layer_index] / denom) if denom else 0.0
+    return ratios

@@ -1,0 +1,117 @@
+"""Quantization-aware fine-tuning with a straight-through estimator.
+
+The paper applies *retraining-free* quantization but notes twice
+(footnotes 1 and 6) that fine-tuning would let the first convolutional
+layer drop from 8-bit to 4-bit weights, removing the dense high-precision
+pass that dominates OLAccel's ResNet-18 cycle count. This module
+implements that optional feature: a training loop whose forward pass sees
+OAQ-quantized weights (and, optionally, quantized activations) while
+gradients update the full-precision master weights — the standard
+straight-through estimator (STE).
+
+Used by ``benchmarks/bench_ext_finetune.py`` to reproduce the footnote's
+claim: fine-tuned 4-bit first-layer weights recover accuracy and cut the
+first layer's dense-pass factor in half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.model import Model
+from ..nn.train import SGD, TrainConfig
+from .outlier import quantize_weights
+from .qmodel import QuantConfig
+
+__all__ = ["FinetuneConfig", "finetune_quantized", "quantized_weight_view"]
+
+
+@dataclass(frozen=True)
+class FinetuneConfig:
+    """STE fine-tuning hyper-parameters (gentler than from-scratch training)."""
+
+    epochs: int = 3
+    batch_size: int = 64
+    lr: float = 0.002
+    momentum: float = 0.9
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+def quantized_weight_view(model: Model, quant: QuantConfig) -> List[np.ndarray]:
+    """OAQ round-tripped weights for every compute layer, first layer at
+    ``quant.first_layer_weight_bits`` when that exceeds the base width."""
+    views: List[np.ndarray] = []
+    for index, layer in enumerate(model.compute_layers()):
+        if index == 0 and quant.first_layer_weight_bits > quant.weight_bits:
+            qt = quantize_weights(
+                layer.weight.value,
+                ratio=0.0,
+                normal_bits=quant.first_layer_weight_bits,
+                outlier_bits=quant.first_layer_weight_bits,
+            )
+        else:
+            qt = quantize_weights(
+                layer.weight.value,
+                ratio=quant.ratio,
+                normal_bits=quant.weight_bits,
+                outlier_bits=quant.weight_outlier_bits,
+            )
+        views.append(qt.dequantize())
+    return views
+
+
+def finetune_quantized(
+    model: Model,
+    x: np.ndarray,
+    y: np.ndarray,
+    quant: Optional[QuantConfig] = None,
+    config: Optional[FinetuneConfig] = None,
+) -> List[float]:
+    """Fine-tune ``model`` in place so it tolerates ``quant``'s grids.
+
+    Each forward/backward runs with weights snapped to their quantization
+    grid; the optimizer step applies the resulting gradients to the
+    full-precision master weights (STE). Returns the per-epoch loss trace.
+    """
+    quant = quant or QuantConfig()
+    config = config or FinetuneConfig()
+    rng = np.random.default_rng(config.seed)
+    compute = model.compute_layers()
+    optimizer = SGD(
+        model.parameters(), config.lr, config.momentum, weight_decay=0.0, grad_clip=config.grad_clip
+    )
+
+    losses: List[float] = []
+    n = x.shape[0]
+    for _ in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        for start in range(0, n, config.batch_size):
+            idx = order[start : start + config.batch_size]
+            xb, yb = x[idx], y[idx]
+
+            # Snap weights to the grid for this step's forward/backward.
+            masters = [layer.weight.value for layer in compute]
+            views = quantized_weight_view(model, quant)
+            for layer, view in zip(compute, views):
+                layer.weight.value = view
+            try:
+                optimizer.zero_grad()
+                logits = model.forward(xb, train=True)
+                loss = F.cross_entropy(logits, yb)
+                model.backward(F.cross_entropy_backward(logits, yb))
+            finally:
+                for layer, master in zip(compute, masters):
+                    layer.weight.value = master
+
+            # STE: gradients computed at the quantized point update the
+            # full-precision masters.
+            optimizer.step()
+            epoch_loss += loss * xb.shape[0]
+        losses.append(epoch_loss / n)
+    return losses

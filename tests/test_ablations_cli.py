@@ -1,0 +1,104 @@
+"""Tests for the ablation harness and the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.harness import (
+    ablate_outlier_mac,
+    ablate_pipelined_accumulation,
+    ablate_zero_skip,
+    run_all_ablations,
+    sweep_group_size,
+)
+
+
+class TestAblations:
+    def test_outlier_mac_pays_off(self):
+        """Without the 17th MAC, the multi-outlier path fires on every
+        chunk with >= 1 outlier — the Sec. III-A naive-SIMD overhead."""
+        result = ablate_outlier_mac("alexnet", ratio=0.03)
+        assert result.slowdown > 1.05
+
+    def test_outlier_mac_worth_grows_with_ratio(self):
+        low = ablate_outlier_mac("alexnet", ratio=0.01).slowdown
+        high = ablate_outlier_mac("alexnet", ratio=0.05).slowdown
+        assert high > low
+
+    def test_zero_skip_pays_off(self):
+        assert ablate_zero_skip("alexnet").slowdown > 1.15
+
+    def test_zero_skip_worth_larger_on_sparser_network(self):
+        """ResNet-18 activations are sparser than AlexNet's on average."""
+        alexnet = ablate_zero_skip("alexnet").slowdown
+        resnet = ablate_zero_skip("resnet18").slowdown
+        assert resnet > alexnet
+
+    def test_pipelined_accumulation_pays_off(self):
+        assert ablate_pipelined_accumulation("alexnet").slowdown > 1.0
+
+    def test_run_all_covers_three_mechanisms(self):
+        results = run_all_ablations("vgg16")
+        assert {r.name for r in results} == {"outlier-mac", "zero-skip", "pipelined-accumulation"}
+        assert all(r.network == "vgg16" for r in results)
+
+    def test_group_size_wide_groups_lose(self):
+        sweep = sweep_group_size("alexnet", ratio=0.05)
+        normalized = sweep.normalized()
+        assert normalized[16] == pytest.approx(1.0)
+        assert normalized[32] > normalized[16]
+
+    def test_group_size_invalid_width(self):
+        with pytest.raises(ValueError, match="tile"):
+            sweep_group_size("alexnet", lane_options=(10,))
+
+    def test_format_strings(self):
+        result = ablate_outlier_mac("alexnet")
+        assert "outlier-mac" in result.format()
+        assert "cycles" in sweep_group_size("alexnet").format()
+
+
+class TestCli:
+    def test_experiment_registry_covers_every_figure(self):
+        expected = {"fig1", "fig2", "fig3", "tab1", "fig11", "fig12", "fig13",
+                    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "tab1" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "768" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "alexnet"]) == 0
+        assert "OLAccel16 vs ZeNA16" in capsys.readouterr().out
+
+    def test_compare_unknown_network(self, capsys):
+        assert main(["compare", "lenet"]) == 2
+
+    def test_ablations_command(self, capsys):
+        assert main(["ablations", "--network", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "outlier-mac" in out and "group-size" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCliExport:
+    def test_export_writes_files(self, tmp_path, capsys):
+        assert main(["export", "alexnet", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "alexnet_layers.csv").exists()
+        assert (tmp_path / "alexnet_summary.json").exists()
+
+    def test_export_unknown_network(self, tmp_path):
+        assert main(["export", "lenet", "--out", str(tmp_path)]) == 2

@@ -1,0 +1,165 @@
+"""Tests for chunk formats and weight packing (repro.arch, Figs. 5/9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.arch import (
+    LANES,
+    WEIGHT_CHUNK_BITS,
+    ActivationChunk,
+    OutlierActivation,
+    OutlierActivationFifo,
+    WeightChunk,
+    combine_outlier_weight,
+    decode_weight_nibble,
+    encode_weight_nibble,
+    pack_weights,
+    split_outlier_weight,
+)
+
+
+class TestNibbleCodec:
+    def test_roundtrip_all_values(self):
+        for level in range(-7, 8):
+            assert decode_weight_nibble(encode_weight_nibble(level)) == level
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_weight_nibble(8)
+        with pytest.raises(ValueError):
+            decode_weight_nibble(16)
+
+    def test_sign_bit_position(self):
+        assert encode_weight_nibble(-3) == 0b1011
+        assert encode_weight_nibble(3) == 0b0011
+
+
+class TestOutlierSplit:
+    @given(st.integers(-127, 127))
+    @settings(max_examples=300, deadline=None)
+    def test_split_combine_roundtrip(self, level):
+        msb, lsb = split_outlier_weight(level)
+        assert combine_outlier_weight(msb, lsb) == level
+        assert abs(lsb) <= 7  # fits the lane nibble
+        assert abs(msb) <= 15  # fits the OLmsb field
+
+    def test_normal_weight_has_zero_msb(self):
+        for level in range(-7, 8):
+            msb, lsb = split_outlier_weight(level)
+            assert msb == 0 and lsb == level
+
+    def test_outlier_msb_nonzero(self):
+        for level in (8, -8, 127, -127, 64):
+            msb, _ = split_outlier_weight(level)
+            assert msb != 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            split_outlier_weight(128)
+
+
+class TestChunkStructures:
+    def test_weight_chunk_lane_count_enforced(self):
+        with pytest.raises(ValueError):
+            WeightChunk(lanes=(0,) * 15)
+
+    def test_chunk_cycle_cost(self):
+        plain = WeightChunk(lanes=(0,) * 16)
+        single = WeightChunk(lanes=(0,) * 16, ol_idx=3, ol_msb=2)
+        multi = WeightChunk(lanes=(0,) * 16, ol_ptr=0)
+        assert plain.cycles == 1  # no outlier: free
+        assert single.cycles == 1  # one outlier: absorbed by the outlier MAC
+        assert multi.cycles == 2  # spill chunk: extra pass (Fig. 8)
+
+    def test_activation_chunk_zero_quads(self):
+        values = [0] * 16
+        assert ActivationChunk(tuple(values)).zero_quads == 4
+        values[0] = 5
+        assert ActivationChunk(tuple(values)).zero_quads == 3
+        values[5], values[9], values[13] = 1, 1, 1
+        assert ActivationChunk(tuple(values)).zero_quads == 0
+
+    def test_activation_chunk_nonzero_count(self):
+        chunk = ActivationChunk(tuple([1, 0, 2, 0] * 4))
+        assert chunk.nonzero_count == 8
+
+    def test_fifo_order(self):
+        fifo = OutlierActivationFifo()
+        fifo.push(OutlierActivation(100, 0, 0, 0))
+        fifo.push(OutlierActivation(200, 1, 1, 1))
+        assert len(fifo) == 2
+        assert fifo.pop().value == 100
+        assert fifo.pop().value == 200
+
+
+class TestPacking:
+    def test_dense_normal_weights_no_spill(self, rng):
+        levels = rng.integers(-7, 8, size=(32, 18))
+        packed = pack_weights(levels)
+        assert packed.spill_chunks == []
+        assert packed.multi_outlier_chunks == 0
+        np.testing.assert_array_equal(packed.unpack(), levels)
+
+    def test_single_outlier_uses_msb_field(self):
+        levels = np.zeros((16, 1), dtype=np.int64)
+        levels[5, 0] = 100
+        packed = pack_weights(levels)
+        chunk = packed.base_chunks[0]
+        assert chunk.has_single_outlier
+        assert chunk.ol_idx == 5
+        assert combine_outlier_weight(chunk.ol_msb, chunk.lanes[5]) == 100
+        np.testing.assert_array_equal(packed.unpack(), levels)
+
+    def test_multi_outlier_spills(self):
+        levels = np.zeros((16, 1), dtype=np.int64)
+        levels[2, 0] = 50
+        levels[9, 0] = -80
+        packed = pack_weights(levels)
+        chunk = packed.base_chunks[0]
+        assert chunk.has_multi_outlier
+        assert len(packed.spill_chunks) == 1
+        np.testing.assert_array_equal(packed.unpack(), levels)
+
+    def test_out_channel_padding(self, rng):
+        levels = rng.integers(-7, 8, size=(20, 3))  # 20 -> padded to 32
+        packed = pack_weights(levels)
+        assert packed.n_groups == 2
+        np.testing.assert_array_equal(packed.unpack(), levels)
+
+    def test_total_bits_accounting(self, rng):
+        levels = rng.integers(-7, 8, size=(16, 10))
+        packed = pack_weights(levels)
+        assert packed.total_bits == 10 * WEIGHT_CHUNK_BITS  # 80 bits per chunk
+
+    def test_levels_out_of_grid_raise(self):
+        with pytest.raises(ValueError, match="8-bit outlier grid"):
+            pack_weights(np.array([[200] + [0] * 15]).T.reshape(16, 1))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            pack_weights(np.zeros(16, dtype=np.int64))
+
+    def test_multi_outlier_fraction_matches_binomial(self, rng):
+        """Packed spill fraction agrees with the Fig. 17 analytic model."""
+        from repro.olaccel import multi_outlier_probability
+
+        ratio = 0.04
+        levels = rng.integers(-7, 8, size=(160, 200))
+        outliers = rng.random(levels.shape) < ratio
+        levels[outliers] = rng.integers(8, 128, size=int(outliers.sum())) * rng.choice(
+            [-1, 1], size=int(outliers.sum())
+        )
+        packed = pack_weights(levels)
+        expected = multi_outlier_probability(ratio, LANES)
+        assert packed.multi_outlier_fraction == pytest.approx(expected, rel=0.25)
+
+    @given(
+        hnp.arrays(np.int64, (32, 7), elements=st.integers(-127, 127)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pack_unpack_roundtrip_property(self, levels):
+        packed = pack_weights(levels)
+        np.testing.assert_array_equal(packed.unpack(), levels)

@@ -1,0 +1,105 @@
+"""Tests for the energy and area models (repro.arch.energy / .area)."""
+
+import pytest
+
+from repro.arch import (
+    DEFAULT_AREA,
+    EnergyBreakdown,
+    EnergyModel,
+    eyeriss_pe_area,
+    iso_area_clusters,
+    olaccel_area,
+    olaccel_cluster_area,
+    zena_pe_area,
+)
+
+
+class TestEnergyModel:
+    def setup_method(self):
+        self.em = EnergyModel()
+
+    def test_mult_scales_with_bit_product(self):
+        assert self.em.mult_energy(8, 8) == pytest.approx(4 * self.em.mult_energy(4, 4))
+        assert self.em.mult_energy(16, 4) == pytest.approx(self.em.mult_energy(4, 16))
+
+    def test_mac_energy_monotone_in_bits(self):
+        e4 = self.em.mac_energy(4, 4)
+        e8 = self.em.mac_energy(8, 8)
+        e16 = self.em.mac_energy(16, 16)
+        assert e4 < e8 < e16
+
+    def test_mac_includes_accumulator_and_control(self):
+        assert self.em.mac_energy(4, 4, acc_bits=24) > self.em.mult_energy(4, 4)
+
+    def test_sram_capacity_scaling(self):
+        small = self.em.sram_energy(8 * 1024 * 8, 64)
+        big = self.em.sram_energy(32 * 1024 * 8, 64)
+        assert big == pytest.approx(2 * small)  # sqrt(4x capacity)
+
+    def test_sram_reference_point(self):
+        # 64-bit read from an 8 KiB macro: the documented anchor (10 pJ at
+        # 45 nm, scaled by TECH_SCALE).
+        energy = self.em.sram_energy(8 * 1024 * 8, 64)
+        assert energy == pytest.approx(10.0 * 1.8, rel=1e-6)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            self.em.sram_energy(0, 64)
+
+    def test_dram_dominates_sram_per_bit(self):
+        sram = self.em.sram_energy(4 * 1024 * 1024 * 8, 1)
+        assert self.em.dram_energy(1) > sram
+
+
+class TestEnergyBreakdown:
+    def test_add_and_total(self):
+        a = EnergyBreakdown(dram=1, buffer=2, local=3, logic=4)
+        b = EnergyBreakdown(dram=10, buffer=20, local=30, logic=40)
+        c = a + b
+        assert c.total == 110
+        a += b
+        assert a.total == 110
+
+    def test_normalized(self):
+        e = EnergyBreakdown(dram=5, buffer=5, local=5, logic=5)
+        n = e.normalized(40.0)
+        assert n.total == pytest.approx(0.5)
+
+    def test_normalized_invalid_reference(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown().normalized(0.0)
+
+    def test_as_dict_keys(self):
+        assert set(EnergyBreakdown().as_dict()) == {"dram", "buffer", "local", "logic"}
+
+
+class TestAreaModel:
+    def test_eyeriss_areas_match_table1(self):
+        assert 165 * eyeriss_pe_area(16) == pytest.approx(1.53, abs=0.02)
+        assert 165 * eyeriss_pe_area(8) == pytest.approx(0.96, abs=0.02)
+
+    def test_zena_areas_match_table1(self):
+        assert 168 * zena_pe_area(16) == pytest.approx(1.66, abs=0.05)
+        assert 168 * zena_pe_area(8) == pytest.approx(1.01, abs=0.05)
+
+    def test_iso_area_search_reproduces_mac_counts(self):
+        """Table I: 768 MACs (8 clusters) at 16-bit, 576 (6 clusters) at 8-bit."""
+        budget16 = 165 * eyeriss_pe_area(16) * 1.11
+        budget8 = 165 * eyeriss_pe_area(8) * 1.11
+        assert iso_area_clusters(budget16, 16) == 8
+        assert iso_area_clusters(budget8, 8) == 6
+
+    def test_olaccel_areas_near_paper(self):
+        assert olaccel_area(8, 16) == pytest.approx(1.67, abs=0.15)
+        assert olaccel_area(6, 8) == pytest.approx(0.93, abs=0.1)
+
+    def test_cluster_area_shrinks_with_outlier_bits(self):
+        assert olaccel_cluster_area(8) < olaccel_cluster_area(16)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            iso_area_clusters(0.0, 16)
+
+    def test_groups_per_cluster_config(self):
+        assert DEFAULT_AREA.groups_per_cluster == 6
+        assert DEFAULT_AREA.lanes_per_group == 17

@@ -1,0 +1,141 @@
+"""Tests for grouped convolution, Dropout and LocalResponseNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Dropout, LocalResponseNorm
+from repro.nn import functional as F
+
+
+class TestGroupedConv:
+    def test_weight_shape(self, rng):
+        layer = Conv2d(8, 12, kernel=3, groups=2, rng=rng)
+        assert layer.weight.value.shape == (12, 4, 3, 3)
+
+    def test_invalid_groups(self, rng):
+        with pytest.raises(ValueError, match="groups"):
+            Conv2d(8, 12, kernel=3, groups=5, rng=rng)
+        with pytest.raises(ValueError, match="groups"):
+            Conv2d(8, 12, kernel=3, groups=0, rng=rng)
+
+    def test_matches_blockwise_dense_conv(self, rng):
+        """Grouped conv == dense conv with a block-diagonal weight tensor."""
+        layer = Conv2d(4, 6, kernel=3, pad=1, groups=2, rng=rng)
+        x = rng.normal(size=(2, 4, 5, 5))
+        y = layer.forward(x)
+
+        dense_w = np.zeros((6, 4, 3, 3))
+        dense_w[:3, :2] = layer.weight.value[:3]
+        dense_w[3:, 2:] = layer.weight.value[3:]
+        expected, _ = F.conv2d(x, dense_w, layer.bias.value, 1, 1)
+        np.testing.assert_allclose(y, expected, atol=1e-12)
+
+    def test_groups_isolate_channels(self, rng):
+        """Group 0's output never depends on group 1's input channels."""
+        layer = Conv2d(4, 4, kernel=1, groups=2, bias=False, rng=rng)
+        x = rng.normal(size=(1, 4, 3, 3))
+        base = layer.forward(x)
+        perturbed = x.copy()
+        perturbed[:, 2:] += 100.0  # only group 1's inputs
+        out = layer.forward(perturbed)
+        np.testing.assert_allclose(out[:, :2], base[:, :2])
+        assert not np.allclose(out[:, 2:], base[:, 2:])
+
+    def test_backward_gradients(self, rng):
+        layer = Conv2d(4, 4, kernel=3, pad=1, groups=2, rng=rng)
+        x = rng.normal(size=(2, 4, 4, 4))
+        y = layer.forward(x, train=True)
+        dy = rng.normal(size=y.shape)
+        for p in layer.parameters():
+            p.zero_grad()
+        dx = layer.backward(dy)
+        assert dx.shape == x.shape
+
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (3, 1, 2, 2)]:
+            orig = layer.weight.value[idx]
+            layer.weight.value[idx] = orig + eps
+            yp = layer.forward(x)
+            layer.weight.value[idx] = orig - eps
+            ym = layer.forward(x)
+            layer.weight.value[idx] = orig
+            num = ((yp - ym) * dy).sum() / (2 * eps)
+            assert abs(num - layer.weight.grad[idx]) < 1e-4
+
+    def test_trains_in_a_model(self, rng, small_dataset):
+        from repro.nn import Flatten, Linear, MaxPool2d, Model, ReLU, TrainConfig, train_model
+
+        model = Model([
+            Conv2d(3, 12, kernel=3, pad=1, name="c1", rng=rng),
+            ReLU(),
+            MaxPool2d(4),
+            Conv2d(12, 12, kernel=3, pad=1, groups=3, name="c2", rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(12 * 4 * 4, small_dataset.num_classes, rng=rng),
+        ])
+        result = train_model(model, small_dataset.train_x[:120], small_dataset.train_y[:120],
+                             TrainConfig(epochs=2, lr=0.01))
+        assert result.losses[-1] < result.losses[0]
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5)
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_allclose(layer.forward(x, train=False), x)
+
+    def test_expected_value_preserved(self, rng):
+        layer = Dropout(0.3, seed=1)
+        x = np.ones((200, 200))
+        y = layer.forward(x, train=True)
+        assert y.mean() == pytest.approx(1.0, abs=0.02)  # inverted scaling
+
+    def test_mask_reused_in_backward(self):
+        layer = Dropout(0.5, seed=2)
+        x = np.ones((8, 8))
+        y = layer.forward(x, train=True)
+        dx = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose((y == 0), (dx == 0))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_p_zero_is_identity_in_training(self, rng):
+        layer = Dropout(0.0)
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_allclose(layer.forward(x, train=True), x)
+
+
+class TestLocalResponseNorm:
+    def test_shrinks_high_energy_channels(self, rng):
+        layer = LocalResponseNorm(size=5, alpha=1.0, beta=0.75, k=1.0)
+        x = np.ones((1, 8, 2, 2)) * 3.0
+        y = layer.forward(x)
+        assert (np.abs(y) < np.abs(x)).all()
+
+    def test_identity_when_alpha_zero(self, rng):
+        layer = LocalResponseNorm(size=5, alpha=0.0, beta=0.75, k=1.0)
+        x = rng.normal(size=(2, 6, 3, 3))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_input_gradient_numerically(self, rng):
+        layer = LocalResponseNorm(size=3, alpha=0.1, beta=0.75, k=2.0)
+        x = rng.normal(size=(1, 5, 2, 2))
+        y = layer.forward(x, train=True)
+        dy = rng.normal(size=y.shape)
+        dx = layer.backward(dy)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 2, 1, 1), (0, 4, 0, 1)]:
+            xp = x.copy()
+            xp[idx] += eps
+            xm = x.copy()
+            xm[idx] -= eps
+            num = ((layer.forward(xp) - layer.forward(xm)) * dy).sum() / (2 * eps)
+            assert abs(num - dx[idx]) < 1e-5
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LocalResponseNorm(size=0)

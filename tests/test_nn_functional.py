@@ -1,0 +1,180 @@
+"""Unit tests for the numpy tensor operations (repro.nn.functional)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+def naive_conv2d(x, w, b, stride, pad):
+    """Direct 6-loop convolution used as the golden reference."""
+    n, c_in, h, wdt = x.shape
+    c_out, _, kh, kw = w.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (wdt + 2 * pad - kw) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    y = np.zeros((n, c_out, out_h, out_w))
+    for ni in range(n):
+        for oc in range(c_out):
+            for oh in range(out_h):
+                for ow in range(out_w):
+                    patch = xp[ni, :, oh * stride : oh * stride + kh, ow * stride : ow * stride + kw]
+                    y[ni, oc, oh, ow] = (patch * w[oc]).sum() + (b[oc] if b is not None else 0.0)
+    return y
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)])
+    def test_matches_naive(self, rng, stride, pad):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        y, _ = F.conv2d(x, w, b, stride, pad)
+        np.testing.assert_allclose(y, naive_conv2d(x, w, b, stride, pad), atol=1e-10)
+
+    def test_kernel_1x1(self, rng):
+        x = rng.normal(size=(1, 5, 4, 4))
+        w = rng.normal(size=(7, 5, 1, 1))
+        y, _ = F.conv2d(x, w, None, 1, 0)
+        assert y.shape == (1, 7, 4, 4)
+        np.testing.assert_allclose(y, naive_conv2d(x, w, None, 1, 0), atol=1e-10)
+
+    def test_rectangular_input(self, rng):
+        x = rng.normal(size=(2, 2, 11, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        y, _ = F.conv2d(x, w, None, 2, 1)
+        assert y.shape == (2, 3, 6, 3)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.normal(size=(1, 3, 8, 8))
+        w = rng.normal(size=(4, 5, 3, 3))
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(x, w)
+
+    def test_nonpositive_output_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_out_size(2, 5, 1, 0)
+
+
+class TestConvBackward:
+    def test_gradients_numerically(self, rng):
+        x = rng.normal(size=(2, 2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        y, cache = F.conv2d(x, w, b, stride=1, pad=1)
+        dy = rng.normal(size=y.shape)
+        dx, dw, db = F.conv2d_backward(dy, cache)
+
+        eps = 1e-6
+        # Spot-check a handful of coordinates against central differences.
+        for idx in [(0, 0, 0, 0), (1, 1, 3, 2), (0, 1, 5, 5)]:
+            xp = x.copy()
+            xp[idx] += eps
+            xm = x.copy()
+            xm[idx] -= eps
+            num = ((F.conv2d(xp, w, b, 1, 1)[0] - F.conv2d(xm, w, b, 1, 1)[0]) * dy).sum() / (2 * eps)
+            assert abs(num - dx[idx]) < 1e-4
+
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 2)]:
+            wp = w.copy()
+            wp[idx] += eps
+            wm = w.copy()
+            wm[idx] -= eps
+            num = ((F.conv2d(x, wp, b, 1, 1)[0] - F.conv2d(x, wm, b, 1, 1)[0]) * dy).sum() / (2 * eps)
+            assert abs(num - dw[idx]) < 1e-4
+
+        num_db = dy.sum(axis=(0, 2, 3))
+        np.testing.assert_allclose(db, num_db, atol=1e-10)
+
+
+class TestIm2col:
+    def test_col2im_adjoint(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols = F.im2col(x, 3, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * F.col2im(y, x.shape, 3, 3, 2, 1)).sum()
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_row_ordering(self):
+        """Rows follow (n, oh, ow); columns follow (c, kh, kw)."""
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = F.im2col(x, 2, 2, 2, 0)
+        np.testing.assert_allclose(cols[0], [0, 1, 4, 5])
+        np.testing.assert_allclose(cols[1], [2, 3, 6, 7])
+        np.testing.assert_allclose(cols[3], [10, 11, 14, 15])
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, _ = F.maxpool2d(x, 2)
+        np.testing.assert_allclose(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        y, cache = F.maxpool2d(x, 2)
+        dy = np.ones_like(y)
+        dx = F.maxpool2d_backward(dy, cache)
+        assert dx.sum() == pytest.approx(dy.sum())
+        # Gradient lands only on max positions.
+        assert ((dx != 0).sum(axis=(2, 3)) == 4).all()
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, _ = F.avgpool2d(x, 2)
+        np.testing.assert_allclose(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_backward_uniform(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        y, cache = F.avgpool2d(x, 2)
+        dx = F.avgpool2d_backward(np.ones_like(y), cache)
+        np.testing.assert_allclose(dx, np.full_like(x, 0.25))
+
+    def test_strided_maxpool(self, rng):
+        x = rng.normal(size=(1, 1, 7, 7))
+        y, _ = F.maxpool2d(x, 3, stride=2)
+        assert y.shape == (1, 1, 3, 3)
+
+
+class TestActivationsAndLoss:
+    def test_relu(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        y, mask = F.relu(x)
+        np.testing.assert_allclose(y, [[0, 0, 2]])
+        np.testing.assert_allclose(F.relu_backward(np.ones_like(x), mask), [[0, 0, 1]])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(5, 9)) * 50  # large values: stability check
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        assert F.cross_entropy(logits, np.array([0])) < 1e-6
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = rng.normal(size=(4, 6))
+        labels = np.array([0, 2, 5, 1])
+        grad = F.cross_entropy_backward(logits, labels)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 2), (3, 5)]:
+            lp = logits.copy()
+            lp[idx] += eps
+            lm = logits.copy()
+            lm[idx] -= eps
+            num = (F.cross_entropy(lp, labels) - F.cross_entropy(lm, labels)) / (2 * eps)
+            assert abs(num - grad[idx]) < 1e-6
+
+    def test_linear_backward(self, rng):
+        x = rng.normal(size=(3, 5))
+        w = rng.normal(size=(4, 5))
+        b = rng.normal(size=4)
+        y, cache = F.linear(x, w, b)
+        dy = rng.normal(size=y.shape)
+        dx, dw, db = F.linear_backward(dy, cache)
+        np.testing.assert_allclose(dx, dy @ w)
+        np.testing.assert_allclose(dw, dy.T @ x)
+        np.testing.assert_allclose(db, dy.sum(axis=0))

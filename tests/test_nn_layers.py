@@ -1,0 +1,194 @@
+"""Unit tests for trainable layers and composite blocks (repro.nn.layers)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    DenseBlock,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ResidualBlock,
+)
+
+
+def numeric_grad_check(layer, x, param, indices, rng, eps=1e-6, tol=1e-4, eval_train=False):
+    """Central-difference check of a parameter gradient through a layer.
+
+    ``eval_train`` re-evaluates perturbed forwards in training mode, needed
+    for layers (BatchNorm) whose train/eval forward paths differ.
+    """
+    y = layer.forward(x, train=True)
+    dy = rng.normal(size=y.shape)
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.backward(dy)
+    for idx in indices:
+        orig = param.value[idx]
+        param.value[idx] = orig + eps
+        yp = layer.forward(x, train=eval_train)
+        param.value[idx] = orig - eps
+        ym = layer.forward(x, train=eval_train)
+        param.value[idx] = orig
+        num = ((yp - ym) * dy).sum() / (2 * eps)
+        assert abs(num - param.grad[idx]) < tol, f"grad mismatch at {idx}"
+
+
+class TestConv2dLayer:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(3, 8, kernel=3, stride=2, pad=1, rng=rng)
+        y = layer.forward(rng.normal(size=(2, 3, 8, 8)))
+        assert y.shape == (2, 8, 4, 4)
+
+    def test_weight_gradients(self, rng):
+        layer = Conv2d(2, 3, kernel=3, pad=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        numeric_grad_check(layer, x, layer.weight, [(0, 0, 0, 0), (2, 1, 2, 1)], rng)
+
+    def test_backward_without_forward_raises(self, rng):
+        layer = Conv2d(2, 3, kernel=3, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 3, 2, 2)))
+
+    def test_gradient_accumulates(self, rng):
+        layer = Conv2d(2, 2, kernel=1, rng=rng)
+        x = rng.normal(size=(1, 2, 3, 3))
+        y = layer.forward(x, train=True)
+        layer.backward(np.ones_like(y))
+        g1 = layer.weight.grad.copy()
+        layer.forward(x, train=True)
+        layer.backward(np.ones_like(y))
+        np.testing.assert_allclose(layer.weight.grad, 2 * g1)
+
+    def test_no_bias(self, rng):
+        layer = Conv2d(2, 2, kernel=1, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+
+class TestLinearLayer:
+    def test_gradients(self, rng):
+        layer = Linear(6, 4, rng=rng)
+        x = rng.normal(size=(3, 6))
+        numeric_grad_check(layer, x, layer.weight, [(0, 0), (3, 5)], rng)
+        numeric_grad_check(layer, x, layer.bias, [(0,), (3,)], rng)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        layer = BatchNorm2d(4)
+        x = rng.normal(loc=3.0, scale=2.0, size=(8, 4, 5, 5))
+        y = layer.forward(x, train=True)
+        assert abs(y.mean()) < 1e-8
+        assert abs(y.std() - 1.0) < 1e-2
+
+    def test_running_stats_used_in_eval(self, rng):
+        layer = BatchNorm2d(2, momentum=0.0)  # running stats = last batch
+        x = rng.normal(loc=1.0, size=(16, 2, 4, 4))
+        layer.forward(x, train=True)
+        y = layer.forward(x, train=False)
+        assert abs(y.mean()) < 0.05
+
+    def test_gamma_beta_gradients(self, rng):
+        layer = BatchNorm2d(3)
+        x = rng.normal(size=(4, 3, 4, 4))
+        numeric_grad_check(layer, x, layer.gamma, [(0,), (2,)], rng, tol=1e-3, eval_train=True)
+        numeric_grad_check(layer, x, layer.beta, [(1,)], rng, tol=1e-3, eval_train=True)
+
+    def test_input_gradient_numerically(self, rng):
+        layer = BatchNorm2d(2)
+        x = rng.normal(size=(3, 2, 3, 3))
+        y = layer.forward(x, train=True)
+        dy = rng.normal(size=y.shape)
+        dx = layer.backward(dy)
+        eps = 1e-5
+        for idx in [(0, 0, 0, 0), (2, 1, 2, 2)]:
+            xp = x.copy()
+            xp[idx] += eps
+            xm = x.copy()
+            xm[idx] -= eps
+            num = ((layer.forward(xp, train=True) - layer.forward(xm, train=True)) * dy).sum() / (2 * eps)
+            assert abs(num - dx[idx]) < 1e-3
+
+
+class TestComposites:
+    def test_residual_identity_path(self, rng):
+        body = [Conv2d(4, 4, kernel=3, pad=1, rng=rng)]
+        block = ResidualBlock(body)
+        x = rng.normal(size=(2, 4, 6, 6))
+        y = block.forward(x, train=True)
+        assert y.shape == x.shape
+        assert (y >= 0).all()  # final ReLU
+
+    def test_residual_projection_shapes(self, rng):
+        body = [Conv2d(4, 8, kernel=3, stride=2, pad=1, rng=rng)]
+        shortcut = [Conv2d(4, 8, kernel=1, stride=2, rng=rng)]
+        block = ResidualBlock(body, shortcut)
+        y = block.forward(rng.normal(size=(2, 4, 6, 6)), train=True)
+        assert y.shape == (2, 8, 3, 3)
+        dy = rng.normal(size=y.shape)
+        dx = block.backward(dy)
+        assert dx.shape == (2, 4, 6, 6)
+
+    def test_residual_gradient_flow_through_both_paths(self, rng):
+        """Zero body weights: output = relu(x), gradient flows via skip."""
+        conv = Conv2d(2, 2, kernel=1, bias=False, rng=rng)
+        conv.weight.value[...] = 0.0
+        block = ResidualBlock([conv])
+        x = np.abs(rng.normal(size=(1, 2, 3, 3)))
+        y = block.forward(x, train=True)
+        np.testing.assert_allclose(y, x)
+        dx = block.backward(np.ones_like(y))
+        np.testing.assert_allclose(dx, np.ones_like(x))
+
+    def test_residual_parameters_include_shortcut(self, rng):
+        block = ResidualBlock([Conv2d(2, 4, 3, pad=1, rng=rng)], [Conv2d(2, 4, 1, rng=rng)])
+        assert len(list(block.parameters())) == 4  # two weights + two biases
+
+    def test_dense_block_concat_width(self, rng):
+        stages = [[Conv2d(4, 3, kernel=1, rng=rng)], [Conv2d(7, 3, kernel=1, rng=rng)]]
+        block = DenseBlock(stages)
+        y = block.forward(rng.normal(size=(2, 4, 5, 5)), train=True)
+        assert y.shape == (2, 10, 5, 5)  # 4 + 3 + 3
+
+    def test_dense_block_backward_numeric(self, rng):
+        stages = [[Conv2d(2, 2, kernel=1, rng=rng)], [Conv2d(4, 2, kernel=1, rng=rng)]]
+        block = DenseBlock(stages)
+        x = rng.normal(size=(1, 2, 3, 3))
+        y = block.forward(x, train=True)
+        dy = rng.normal(size=y.shape)
+        dx = block.backward(dy)
+        eps = 1e-6
+        for idx in [(0, 0, 0, 0), (0, 1, 2, 1)]:
+            xp = x.copy()
+            xp[idx] += eps
+            xm = x.copy()
+            xm[idx] -= eps
+            num = ((block.forward(xp, train=True) - block.forward(xm, train=True)) * dy).sum() / (2 * eps)
+            assert abs(num - dx[idx]) < 1e-4
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = layer.forward(x, train=True)
+        assert y.shape == (2, 48)
+        np.testing.assert_allclose(layer.backward(y), x)
+
+    def test_global_avg_pool(self, rng):
+        layer = GlobalAvgPool()
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = layer.forward(x, train=True)
+        np.testing.assert_allclose(y, x.mean(axis=(2, 3)))
+        dx = layer.backward(np.ones_like(y))
+        np.testing.assert_allclose(dx, np.full_like(x, 1 / 16))
+
+    def test_maxpool_relu_layers(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        pooled = MaxPool2d(2).forward(x, train=True)
+        assert pooled.shape == (1, 2, 2, 2)
+        activated = ReLU().forward(x, train=True)
+        assert (activated >= 0).all()

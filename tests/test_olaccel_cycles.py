@@ -1,0 +1,180 @@
+"""Tests for OLAccel cycle-model components (pe_group/cluster/tribuffer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ActivationChunk, WeightChunk
+from repro.olaccel import (
+    TriBuffer,
+    accumulation_drain_cycles,
+    chunk_pass_cycles,
+    dense_pass_factor,
+    expected_pass_costs,
+    load_balance_efficiency,
+    multi_outlier_probability,
+    sample_pass_cycles,
+    schedule_passes,
+    single_or_more_outlier_probability,
+)
+
+
+class TestMultiOutlierProbability:
+    def test_paper_motivating_example(self):
+        """Sec. III-A: 1% outliers on 32-way SIMD stall ~27.5% of the time."""
+        assert single_or_more_outlier_probability(0.01, 32) == pytest.approx(0.275, abs=0.01)
+
+    def test_fig17_group_size_choice(self):
+        """Fig. 17: at 5% outliers, 16 lanes keep P(multi) ~20% while
+        32/64 lanes are far worse — the reason PE groups are 16 wide."""
+        assert multi_outlier_probability(0.05, 16) == pytest.approx(0.19, abs=0.03)
+        assert multi_outlier_probability(0.05, 32) > 0.45
+        assert multi_outlier_probability(0.05, 64) > 0.8
+
+    def test_zero_ratio(self):
+        assert multi_outlier_probability(0.0, 16) == 0.0
+        assert single_or_more_outlier_probability(0.0, 16) == 0.0
+
+    @given(st.floats(0.0, 1.0), st.sampled_from([8, 16, 32, 64]))
+    @settings(max_examples=60, deadline=None)
+    def test_probability_bounds_and_ordering(self, ratio, lanes):
+        multi = multi_outlier_probability(ratio, lanes)
+        single = single_or_more_outlier_probability(ratio, lanes)
+        assert 0.0 <= multi <= single <= 1.0
+
+    @given(st.floats(0.0, 0.3))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_lanes(self, ratio):
+        p16 = multi_outlier_probability(ratio, 16)
+        p32 = multi_outlier_probability(ratio, 32)
+        p64 = multi_outlier_probability(ratio, 64)
+        assert p16 <= p32 <= p64
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            multi_outlier_probability(1.5)
+
+
+class TestExactChunkCycles:
+    def test_mixed_chunk(self):
+        acts = ActivationChunk(tuple([3, 0, 0, 0] + [0] * 4 + [1, 1, 0, 0] + [0] * 4))
+        chunks = [WeightChunk(lanes=(0,) * 16)] * 16
+        # nonzero at 0, 8, 9 -> 3 cycles; quads 1 and 3 all-zero -> 2 skips
+        assert chunk_pass_cycles(acts, chunks) == 5
+
+    def test_spill_chunk_doubles(self):
+        acts = ActivationChunk(tuple([1] + [0] * 15))
+        spill = WeightChunk(lanes=(0,) * 16, ol_ptr=0)
+        chunks = [spill] + [WeightChunk(lanes=(0,) * 16)] * 15
+        assert chunk_pass_cycles(acts, chunks) == 2 + 3  # 2-cycle op + 3 zero quads
+
+
+class TestExpectedPassCosts:
+    def test_dense(self):
+        costs = expected_pass_costs(1.0, 0.0)
+        assert costs.run_cycles == 16
+        assert costs.skip_cycles == 0
+
+    def test_all_zero(self):
+        costs = expected_pass_costs(0.0, 0.0)
+        assert costs.run_cycles == 0
+        assert costs.skip_cycles == pytest.approx(4.0)
+
+    def test_first_layer_dense_factor(self):
+        costs = expected_pass_costs(0.5, 0.0, dense_factor=8)
+        assert costs.run_cycles == 16 * 8
+        assert costs.skip_cycles == 0.0
+
+    def test_multi_outlier_surcharge(self):
+        base = expected_pass_costs(0.5, 0.0)
+        loaded = expected_pass_costs(0.5, 0.1)
+        assert loaded.run_cycles == pytest.approx(base.run_cycles * 1.1)
+
+    def test_matches_monte_carlo(self, rng):
+        d, p = 0.4, 0.08
+        expected = expected_pass_costs(d, p).total
+        sampled = sample_pass_cycles(rng, 100000, d, p).mean()
+        assert sampled == pytest.approx(expected, rel=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_pass_costs(1.5, 0.0)
+        with pytest.raises(ValueError):
+            expected_pass_costs(0.5, 0.0, dense_factor=0)
+
+    def test_dense_factor_values(self):
+        assert dense_pass_factor(16, 8) == 8  # ResNet-18 first layer, 16-bit cmp
+        assert dense_pass_factor(8, 8) == 4  # 8-bit comparison
+        assert dense_pass_factor(16, 4) == 4  # AlexNet first layer, 16-bit cmp
+        assert dense_pass_factor(4, 4) == 1
+
+
+class TestSampledDistributions:
+    def test_fig19_peaks(self, rng):
+        """Dense layers peak near 15-16 cycles, sparse layers near 4-5."""
+        dense = sample_pass_cycles(rng, 50000, 0.85, 0.08)
+        sparse = sample_pass_cycles(rng, 50000, 0.2, 0.08)
+        dense_peak = np.bincount(dense).argmax()
+        sparse_peak = np.bincount(sparse).argmax()
+        assert 13 <= dense_peak <= 18
+        assert 3 <= sparse_peak <= 6
+
+    def test_empty(self, rng):
+        assert sample_pass_cycles(rng, 0, 0.5, 0.0).size == 0
+
+    def test_bounds(self, rng):
+        cycles = sample_pass_cycles(rng, 10000, 0.5, 0.5)
+        assert cycles.min() >= 0
+        assert cycles.max() <= 16 * 2 + 4
+
+
+class TestClusterScheduling:
+    def test_greedy_matches_ideal_for_uniform(self):
+        makespan = schedule_passes([4.0] * 100, 4)
+        assert makespan == pytest.approx(100.0)
+
+    def test_greedy_bounded_by_lpt(self, rng):
+        costs = rng.uniform(1, 16, size=500)
+        makespan = schedule_passes(costs, 8)
+        ideal = costs.sum() / 8
+        assert ideal <= makespan <= ideal + costs.max()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            schedule_passes([1.0], 0)
+        with pytest.raises(ValueError):
+            schedule_passes([-1.0], 2)
+
+    def test_efficiency_approaches_one(self):
+        assert load_balance_efficiency(1e6, 48) > 0.999
+        assert load_balance_efficiency(10, 48) < 0.9
+        assert load_balance_efficiency(0, 48) == 1.0
+
+
+class TestTriBuffer:
+    def test_coherence_invariant(self):
+        """Normal and outlier accumulation units never share a buffer —
+        the paper's pipelining argument (Fig. 10)."""
+        tb = TriBuffer()
+        tb.run(50)
+        assert tb.conflict_free
+
+    def test_rotation_pattern(self):
+        tb = TriBuffer()
+        n0, o0 = tb.step()
+        n1, o1 = tb.step()
+        assert n0 == {0, 1} and o0 == set()
+        assert n1 == {1, 2} and o1 == {0}  # outlier unit takes released buffer
+
+    def test_outlier_always_one_buffer(self):
+        tb = TriBuffer()
+        tb.run(20)
+        for _, outlier in tb.history[1:]:
+            assert len(outlier) == 1
+
+    def test_drain_cycles(self):
+        assert accumulation_drain_cycles(4) == 8
+        assert accumulation_drain_cycles(0) == 2
+        with pytest.raises(ValueError):
+            accumulation_drain_cycles(-1)

@@ -1,0 +1,166 @@
+"""Bit-exactness tests for the OLAccel functional datapath (Figs. 7-9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.arch import pack_weights
+from repro.olaccel import (
+    ACC_LIMIT,
+    olaccel_conv2d,
+    reference_conv2d_int,
+    split_activation_levels,
+    split_weight_levels,
+)
+
+
+def random_case(rng, n=1, c=8, h=7, w=7, out_c=16, k=3, act_density=0.5, outlier=0.05):
+    acts = rng.integers(0, 16, size=(n, c, h, w))
+    acts[rng.random(acts.shape) >= act_density] = 0
+    act_outliers = rng.random(acts.shape) < outlier
+    acts[act_outliers] = rng.integers(16, 200, size=int(act_outliers.sum()))
+    weights = rng.integers(-7, 8, size=(out_c, c, k, k))
+    w_outliers = rng.random(weights.shape) < outlier
+    weights[w_outliers] = rng.integers(8, 128, size=int(w_outliers.sum())) * rng.choice(
+        [-1, 1], size=int(w_outliers.sum())
+    )
+    return acts, weights
+
+
+class TestWeightSplit:
+    @given(hnp.arrays(np.int64, 50, elements=st.integers(-127, 127)))
+    @settings(max_examples=50, deadline=None)
+    def test_lsb_plus_8msb_reconstructs(self, levels):
+        lsb, msb = split_weight_levels(levels)
+        np.testing.assert_array_equal(lsb + 8 * msb, levels)
+        assert np.abs(lsb).max(initial=0) <= 7
+        assert np.abs(msb).max(initial=0) <= 15
+
+    def test_normal_weights_untouched(self):
+        levels = np.arange(-7, 8)
+        lsb, msb = split_weight_levels(levels)
+        np.testing.assert_array_equal(lsb, levels)
+        assert (msb == 0).all()
+
+
+class TestActivationSplit:
+    def test_streams_sum_to_original(self, rng):
+        levels = rng.integers(0, 100, size=200)
+        normal, outlier = split_activation_levels(levels)
+        np.testing.assert_array_equal(normal + outlier, levels)
+
+    def test_outliers_removed_from_dense_stream(self, rng):
+        levels = np.array([0, 5, 15, 16, 100])
+        normal, outlier = split_activation_levels(levels)
+        np.testing.assert_array_equal(normal, [0, 5, 15, 0, 0])
+        np.testing.assert_array_equal(outlier, [0, 0, 0, 16, 100])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            split_activation_levels(np.array([-1]))
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        acts, weights = random_case(rng)
+        result = olaccel_conv2d(acts, weights, stride=1, pad=1)
+        reference = reference_conv2d_int(acts, weights, stride=1, pad=1)
+        np.testing.assert_array_equal(result.psum, reference)
+
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (2, 1), (2, 0)])
+    def test_strides_and_padding(self, stride, pad, rng):
+        acts, weights = random_case(rng, h=9, w=9)
+        result = olaccel_conv2d(acts, weights, stride=stride, pad=pad)
+        reference = reference_conv2d_int(acts, weights, stride=stride, pad=pad)
+        np.testing.assert_array_equal(result.psum, reference)
+
+    def test_decomposition_paths(self, rng):
+        """normal + outlier partial sums == total (the Fig. 10 merge)."""
+        acts, weights = random_case(rng)
+        result = olaccel_conv2d(acts, weights, pad=1)
+        np.testing.assert_array_equal(result.normal_psum + result.outlier_psum, result.psum)
+
+    def test_no_outliers_means_outlier_path_idle(self, rng):
+        acts = rng.integers(0, 16, size=(1, 8, 5, 5))
+        weights = rng.integers(-7, 8, size=(16, 8, 3, 3))
+        result = olaccel_conv2d(acts, weights, pad=1)
+        assert (result.outlier_psum == 0).all()
+        assert result.outlier_broadcasts == 0
+
+    def test_prepacked_weights_accepted(self, rng):
+        acts, weights = random_case(rng)
+        packed = pack_weights(weights.reshape(weights.shape[0], -1))
+        result = olaccel_conv2d(acts, weights, pad=1, packed=packed)
+        reference = reference_conv2d_int(acts, weights, pad=1)
+        np.testing.assert_array_equal(result.psum, reference)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            olaccel_conv2d(np.zeros((1, 4, 5, 5), dtype=np.int64), np.zeros((8, 5, 3, 3), dtype=np.int64))
+
+    def test_saturation_flag(self):
+        # 16-bit outlier activations at full scale against 8-bit outlier
+        # weights overflow the 24-bit partial-sum accumulator.
+        acts = np.full((1, 16, 4, 4), 60000, dtype=np.int64)
+        weights = np.full((16, 16, 3, 3), 127, dtype=np.int64)
+        result = olaccel_conv2d(acts, weights, pad=0, act_normal_max=65535)
+        assert result.saturated
+        assert ACC_LIMIT == 2**23 - 1
+
+    def test_no_saturation_in_normal_range(self, rng):
+        acts, weights = random_case(rng)
+        assert not olaccel_conv2d(acts, weights, pad=1).saturated
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_bit_exact_property(self, seed):
+        rng = np.random.default_rng(seed)
+        acts, weights = random_case(rng, c=4, h=5, w=5, out_c=8, outlier=0.1)
+        result = olaccel_conv2d(acts, weights, pad=1)
+        np.testing.assert_array_equal(result.psum, reference_conv2d_int(acts, weights, pad=1))
+
+
+class TestExactCycles:
+    def test_dense_no_outliers(self):
+        """All-nonzero activations, no weight outliers: 1 cycle per lane op."""
+        acts = np.ones((1, 16, 3, 3), dtype=np.int64)
+        weights = np.ones((16, 16, 1, 1), dtype=np.int64)
+        result = olaccel_conv2d(acts, weights)
+        # 9 pixels x 1 out-group x 1 in-chunk x 16 nonzero = 144 cycles
+        assert result.cycles == 144
+
+    def test_all_zero_chunks_cost_skip_cycles(self):
+        acts = np.zeros((1, 16, 2, 2), dtype=np.int64)
+        weights = np.ones((16, 16, 1, 1), dtype=np.int64)
+        result = olaccel_conv2d(acts, weights)
+        # 4 pixels x 4 zero quads = 16 skip cycles
+        assert result.cycles == 16
+
+    def test_multi_outlier_chunk_costs_double(self):
+        """A chunk spans 16 *output* channels for one input position; two
+        outliers there spill (Fig. 8) and that broadcast takes 2 cycles."""
+        acts = np.ones((1, 16, 1, 1), dtype=np.int64)
+        weights = np.ones((16, 16, 1, 1), dtype=np.int64)
+        weights[3, 0, 0, 0] = 100  # out-channels 3 and 7, input channel 0
+        weights[7, 0, 0, 0] = 100
+        base = olaccel_conv2d(acts, np.ones_like(weights)).cycles
+        cost = olaccel_conv2d(acts, weights).cycles
+        assert cost == base + 1  # only input channel 0's broadcast doubles
+
+    def test_single_outlier_is_free(self):
+        acts = np.ones((1, 16, 1, 1), dtype=np.int64)
+        weights = np.ones((16, 16, 1, 1), dtype=np.int64)
+        weights[5, 2, 0, 0] = 100  # one outlier: handled by the outlier MAC
+        base = olaccel_conv2d(acts, np.ones_like(weights)).cycles
+        assert olaccel_conv2d(acts, weights).cycles == base
+
+    def test_outlier_broadcast_count(self):
+        acts = np.zeros((1, 16, 1, 1), dtype=np.int64)
+        acts[0, 4, 0, 0] = 100  # one outlier activation
+        weights = np.ones((32, 16, 1, 1), dtype=np.int64)  # 2 out-groups
+        result = olaccel_conv2d(acts, weights)
+        assert result.outlier_broadcasts == 2  # one per output-channel group

@@ -1,0 +1,80 @@
+"""Tests for the bandwidth-aware network pipeline (repro.olaccel.pipeline)."""
+
+import pytest
+
+from repro.harness import paper_workload
+from repro.olaccel import OLAccelSimulator, olaccel16
+from repro.olaccel.pipeline import bandwidth_to_compute_bound, schedule_network
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return paper_workload("alexnet")
+
+
+@pytest.fixture(scope="module")
+def alexnet_fc():
+    return paper_workload("alexnet", include_fc=True)
+
+
+class TestSchedule:
+    def test_generous_bandwidth_is_compute_bound(self, alexnet):
+        result = schedule_network(alexnet, bandwidth_bits_per_cycle=1e6)
+        assert result.stall_cycles == pytest.approx(0.0, abs=1.0)
+        assert not result.memory_bound_layers
+
+    def test_starved_bandwidth_stalls(self, alexnet):
+        result = schedule_network(alexnet, bandwidth_bits_per_cycle=1.0)
+        assert result.bandwidth_bound
+        assert result.makespan > result.compute_cycles * 2
+
+    def test_makespan_monotone_in_bandwidth(self, alexnet):
+        spans = [
+            schedule_network(alexnet, bandwidth_bits_per_cycle=bw).makespan
+            for bw in (4.0, 16.0, 64.0, 256.0)
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(spans, spans[1:]))
+
+    def test_layers_ordered_and_non_overlapping_compute(self, alexnet):
+        result = schedule_network(alexnet, bandwidth_bits_per_cycle=64.0)
+        for prev, cur in zip(result.layers, result.layers[1:]):
+            assert cur.start >= prev.end - 1e-9
+
+    def test_fc_layers_memory_bound_at_batch_1(self, alexnet_fc):
+        """AlexNet's FC weights (58M) dominate their compute at batch 1 —
+        the classic reason conv-era accelerators report conv layers."""
+        result = schedule_network(alexnet_fc, bandwidth_bits_per_cycle=216.0)
+        bound = set(result.memory_bound_layers)
+        assert {"fc6", "fc7"} <= bound
+        assert "conv2" not in bound
+
+    def test_double_buffering_hides_transfers(self, alexnet):
+        """At the Fig. 15 bandwidth, conv-layer prefetch mostly overlaps."""
+        result = schedule_network(alexnet, bandwidth_bits_per_cycle=216.0)
+        assert result.stall_cycles < result.compute_cycles * 0.25
+
+    def test_invalid_bandwidth(self, alexnet):
+        with pytest.raises(ValueError):
+            schedule_network(alexnet, bandwidth_bits_per_cycle=0.0)
+
+
+class TestBandwidthSearch:
+    def test_search_converges(self, alexnet):
+        bw = bandwidth_to_compute_bound(alexnet, tolerance=0.02)
+        assert 1.0 < bw < 100000.0
+        # At the found bandwidth the stall share respects the tolerance...
+        result = schedule_network(alexnet, bandwidth_bits_per_cycle=bw)
+        assert result.stall_cycles / result.compute_cycles <= 0.02 + 1e-6
+        # ...and meaningfully below it the stalls exceed it.
+        worse = schedule_network(alexnet, bandwidth_bits_per_cycle=bw / 4)
+        assert worse.stall_cycles / worse.compute_cycles > 0.02
+
+    def test_fc_network_needs_more_bandwidth(self, alexnet, alexnet_fc):
+        conv_bw = bandwidth_to_compute_bound(alexnet)
+        fc_bw = bandwidth_to_compute_bound(alexnet_fc)
+        assert fc_bw > conv_bw * 3
+
+    def test_simulator_override(self, alexnet):
+        sim = OLAccelSimulator(olaccel16())
+        bw = bandwidth_to_compute_bound(alexnet, simulator=sim)
+        assert bw > 0

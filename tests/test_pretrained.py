@@ -1,0 +1,56 @@
+"""Tests for the trained-model disk cache (repro.harness.pretrained)."""
+
+import numpy as np
+import pytest
+
+import repro.harness.pretrained as pretrained
+from repro.nn import TrainConfig, build_mini, train_model
+
+
+class TestCache:
+    def test_env_var_overrides_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert pretrained.cache_dir() == tmp_path / "cache"
+        assert (tmp_path / "cache").exists()
+
+    def test_dataset_memoized(self):
+        a = pretrained.default_dataset()
+        b = pretrained.default_dataset()
+        assert a is b
+
+    def test_dataset_seed_variants_differ(self):
+        a = pretrained.default_dataset(seed=7)
+        b = pretrained.default_dataset(seed=8)
+        assert not np.allclose(a.train_x, b.train_x)
+
+    def test_state_roundtrip(self, tmp_path, small_dataset):
+        """Saving and loading weights reproduces identical predictions."""
+        model = build_mini("resnet", num_classes=small_dataset.num_classes)
+        train_model(model, small_dataset.train_x[:80], small_dataset.train_y[:80],
+                    TrainConfig(epochs=1, lr=0.01))
+        path = tmp_path / "state.npz"
+        pretrained._save_state(model, path)
+        logits_before = model.forward(small_dataset.test_x[:8])
+
+        fresh = build_mini("resnet", num_classes=small_dataset.num_classes)
+        pretrained._load_state(fresh, path)
+        np.testing.assert_allclose(fresh.forward(small_dataset.test_x[:8]), logits_before)
+
+    def test_state_includes_batchnorm_running_stats(self, tmp_path, small_dataset):
+        model = build_mini("resnet", num_classes=small_dataset.num_classes)
+        train_model(model, small_dataset.train_x[:40], small_dataset.train_y[:40],
+                    TrainConfig(epochs=1, lr=0.01))
+        bns = pretrained._batchnorms(model)
+        assert bns  # resnet has batch norms
+        path = tmp_path / "state.npz"
+        pretrained._save_state(model, path)
+        fresh = build_mini("resnet", num_classes=small_dataset.num_classes)
+        pretrained._load_state(fresh, path)
+        for a, b in zip(pretrained._batchnorms(fresh), bns):
+            np.testing.assert_allclose(a.running_mean, b.running_mean)
+            np.testing.assert_allclose(a.running_var, b.running_var)
+
+    def test_trained_mini_uses_memory_cache(self):
+        a = pretrained.trained_mini("alexnet")
+        b = pretrained.trained_mini("alexnet")
+        assert a is b

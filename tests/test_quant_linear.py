@@ -1,0 +1,116 @@
+"""Unit + property tests for linear quantization grids (repro.quant.linear)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import LinearQuantizer, quantize_linear, signed_levels, unsigned_levels
+
+
+class TestGridSizes:
+    def test_signed_levels(self):
+        assert signed_levels(4) == 7
+        assert signed_levels(8) == 127
+        assert signed_levels(16) == 32767
+
+    def test_unsigned_levels(self):
+        assert unsigned_levels(4) == 15
+        assert unsigned_levels(8) == 255
+        assert unsigned_levels(16) == 65535
+
+    def test_too_few_bits_raise(self):
+        with pytest.raises(ValueError):
+            signed_levels(1)
+        with pytest.raises(ValueError):
+            unsigned_levels(0)
+
+
+class TestLinearQuantizer:
+    def test_zero_is_exact(self):
+        q = LinearQuantizer(delta=0.1, bits=4)
+        assert q.quantize(np.array([0.0]))[0] == 0
+
+    def test_clipping(self):
+        q = LinearQuantizer(delta=0.1, bits=4, signed=True)
+        assert q.quantize(np.array([100.0]))[0] == 7
+        assert q.quantize(np.array([-100.0]))[0] == -7
+
+    def test_unsigned_floor_at_zero(self):
+        q = LinearQuantizer(delta=0.1, bits=4, signed=False)
+        assert q.quantize(np.array([-5.0]))[0] == 0
+        assert q.quantize(np.array([5.0]))[0] == 15
+
+    def test_from_range_covers_max(self):
+        q = LinearQuantizer.from_range(3.5, bits=4)
+        assert q.max_value == pytest.approx(3.5)
+        assert q.quantize(np.array([3.5]))[0] == 7
+
+    def test_from_range_degenerate_zero(self):
+        q = LinearQuantizer.from_range(0.0, bits=4)
+        np.testing.assert_array_equal(q.quantize(np.zeros(3)), np.zeros(3))
+
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(delta=0.0, bits=4).quantize(np.ones(1))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 64),
+            elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+        ),
+        st.sampled_from([4, 6, 8, 16]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bound(self, values, bits):
+        """|roundtrip(x) - x| <= delta/2 for every in-range value."""
+        max_abs = float(np.abs(values).max())
+        q = LinearQuantizer.from_range(max_abs, bits=bits)
+        error = np.abs(q.roundtrip(values) - values)
+        assert (error <= q.delta / 2 + 1e-12).all()
+
+    @given(
+        hnp.arrays(np.float64, 32, elements=st.floats(-100, 100, allow_nan=False)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quantize_monotone(self, values):
+        """Quantization preserves ordering."""
+        q = LinearQuantizer.from_range(max(float(np.abs(values).max()), 1e-6), bits=4)
+        order = np.argsort(values)
+        levels = q.quantize(values)[order]
+        assert (np.diff(levels) >= 0).all()
+
+    @given(st.floats(0.001, 100.0), st.sampled_from([4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_levels_within_grid(self, max_abs, bits):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, max_abs, size=100)
+        q = LinearQuantizer.from_range(max_abs, bits=bits)
+        levels = q.quantize(values)
+        assert levels.max() <= q.max_level
+        assert levels.min() >= q.min_level
+
+    def test_idempotent(self, rng):
+        values = rng.normal(size=50)
+        q = LinearQuantizer.from_range(float(np.abs(values).max()), bits=4)
+        once = q.roundtrip(values)
+        twice = q.roundtrip(once)
+        np.testing.assert_allclose(once, twice)
+
+
+class TestQuantizeLinearHelper:
+    def test_empty_array(self):
+        out = quantize_linear(np.zeros(0), bits=4)
+        assert out.size == 0
+
+    def test_preserves_shape(self, rng):
+        x = rng.normal(size=(3, 4, 5))
+        assert quantize_linear(x, bits=8).shape == (3, 4, 5)
+
+    def test_finer_bits_reduce_error(self, rng):
+        x = rng.normal(size=1000)
+        err4 = np.abs(quantize_linear(x, 4) - x).mean()
+        err8 = np.abs(quantize_linear(x, 8) - x).mean()
+        assert err8 < err4

@@ -1,0 +1,116 @@
+"""Tests for calibration and quantized-model execution (Sec. II runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    CalibrationResult,
+    QuantConfig,
+    QuantizedModel,
+    calibrate_activation_thresholds,
+    effective_outlier_ratios,
+)
+
+
+@pytest.fixture(scope="module")
+def calibrated(tiny_trained_model, small_dataset):
+    cal = calibrate_activation_thresholds(tiny_trained_model, small_dataset.train_x[:60], ratio=0.03)
+    return tiny_trained_model, small_dataset, cal
+
+
+class TestCalibration:
+    def test_one_threshold_per_compute_layer(self, calibrated):
+        model, _, cal = calibrated
+        assert len(cal.layers) == len(model.compute_layers())
+
+    def test_first_layer_signed(self, calibrated):
+        _, _, cal = calibrated
+        assert cal.layers[0].signed  # raw images have negative values
+        # post-ReLU layers are unsigned
+        assert not any(layer.signed for layer in cal.layers[1:])
+
+    def test_thresholds_positive(self, calibrated):
+        _, _, cal = calibrated
+        assert all(layer.threshold > 0 for layer in cal.layers)
+
+    def test_effective_ratio_near_target(self, calibrated):
+        model, data, cal = calibrated
+        ratios = effective_outlier_ratios(model, cal, data.test_x[:40])
+        non_first = [r for name, r in ratios.items() if name != cal.layers[0].layer_name]
+        mean_ratio = float(np.mean(non_first))
+        # Fig. 16: runtime ratio clusters near the calibrated target.
+        assert 0.01 < mean_ratio < 0.08
+
+    def test_by_name_lookup(self, calibrated):
+        _, _, cal = calibrated
+        names = cal.by_name()
+        assert cal.layers[0].layer_name in names
+
+
+class TestQuantizedModel:
+    def test_forward_shape_and_restoration(self, calibrated, rng):
+        model, data, cal = calibrated
+        qm = QuantizedModel(model, cal, QuantConfig(ratio=0.03))
+        x = data.test_x[:4]
+        before = model.forward(x)
+        out = qm.forward(x)
+        after = model.forward(x)
+        assert out.shape == before.shape
+        np.testing.assert_allclose(before, after)  # wrapper fully undone
+
+    def test_quantized_close_to_float(self, calibrated):
+        model, data, cal = calibrated
+        qm = QuantizedModel(model, cal, QuantConfig(ratio=0.03))
+        fp = model.accuracy(data.test_x, data.test_y)
+        q = qm.accuracy(data.test_x, data.test_y)
+        assert q >= fp - 0.25  # 4-bit OAQ keeps most of the accuracy
+
+    def test_oaq_at_least_as_good_as_linear(self, calibrated):
+        """The headline accuracy claim at the model level."""
+        model, data, cal = calibrated
+        from repro.quant import calibrate_activation_thresholds
+
+        cal0 = calibrate_activation_thresholds(model, data.train_x[:60], ratio=0.0)
+        linear = QuantizedModel(model, cal0, QuantConfig(ratio=0.0))
+        oaq = QuantizedModel(model, cal, QuantConfig(ratio=0.03))
+        top5_linear = linear.topk_accuracy(data.test_x, data.test_y, k=3)
+        top5_oaq = oaq.topk_accuracy(data.test_x, data.test_y, k=3)
+        assert top5_oaq >= top5_linear - 0.02
+
+    def test_mismatched_calibration_raises(self, calibrated):
+        model, _, cal = calibrated
+        broken = CalibrationResult(ratio=0.03, layers=cal.layers[:-1])
+        with pytest.raises(ValueError, match="calibration covers"):
+            QuantizedModel(model, broken)
+
+    def test_first_layer_8bit_weights(self, calibrated):
+        model, _, cal = calibrated
+        qm = QuantizedModel(model, cal, QuantConfig(ratio=0.03, first_layer_weight_bits=8))
+        first = qm.weight_q[0]
+        assert first.config.normal_bits == 8
+        assert first.outlier_count == 0  # dense high-precision grid
+
+    def test_weight_outlier_ratio_near_target(self, calibrated):
+        model, _, cal = calibrated
+        qm = QuantizedModel(model, cal, QuantConfig(ratio=0.03))
+        for qt in qm.weight_q[1:]:
+            assert qt.outlier_ratio <= 0.06
+
+    def test_measure_layer_stats(self, calibrated):
+        model, data, cal = calibrated
+        qm = QuantizedModel(model, cal, QuantConfig(ratio=0.03))
+        stats = qm.measure_layer_stats(data.test_x[:20])
+        assert len(stats) == len(model.compute_layers())
+        first = stats[0]
+        assert first.is_first
+        assert first.act_density == pytest.approx(1.0, abs=0.05)  # raw input dense
+        for stat in stats[1:]:
+            assert 0.0 <= stat.act_density <= 1.0
+            assert 0.0 <= stat.act_outlier_ratio <= 0.2
+            assert stat.act_threshold > 0
+
+    def test_predict_matches_forward_argmax(self, calibrated):
+        model, data, cal = calibrated
+        qm = QuantizedModel(model, cal)
+        x = data.test_x[:10]
+        np.testing.assert_array_equal(qm.predict(x, batch_size=3), qm.forward(x).argmax(axis=1))

@@ -1,0 +1,145 @@
+"""Tests for outlier-aware quantization (repro.quant.outlier) — Sec. II."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    OutlierQuantConfig,
+    magnitude_threshold,
+    mse,
+    quantize_activations,
+    quantize_weights,
+    sqnr_db,
+)
+
+
+def heavy_tailed(rng, n=20000, tail=0.02, scale=8.0):
+    """Gaussian bulk plus a small fraction of large outliers (Fig. 1 shape)."""
+    x = rng.normal(0, 1.0, size=n)
+    idx = rng.random(n) < tail
+    x[idx] *= scale
+    return x
+
+
+class TestThreshold:
+    def test_ratio_zero_is_max(self, rng):
+        x = rng.normal(size=100)
+        assert magnitude_threshold(x, 0.0) == pytest.approx(float(np.abs(x).max()))
+
+    def test_quantile_places_ratio_above(self, rng):
+        x = rng.normal(size=20000)
+        t = magnitude_threshold(x, 0.03)
+        above = (np.abs(x) > t).mean()
+        assert above == pytest.approx(0.03, abs=0.005)
+
+    def test_over_nonzero_ignores_zeros(self, rng):
+        x = np.concatenate([np.zeros(9000), rng.uniform(1, 2, size=1000)])
+        t_all = magnitude_threshold(x, 0.03, over_nonzero=False)
+        t_nz = magnitude_threshold(x, 0.03, over_nonzero=True)
+        assert t_all < t_nz  # zeros drag the plain quantile down
+
+    def test_empty(self):
+        assert magnitude_threshold(np.zeros(0), 0.03) == 0.0
+
+
+class TestWeightQuantization:
+    def test_outlier_ratio_close_to_target(self, rng):
+        w = heavy_tailed(rng)
+        qt = quantize_weights(w, ratio=0.03)
+        assert qt.outlier_ratio == pytest.approx(0.03, abs=0.01)
+
+    def test_levels_fit_outlier_grid(self, rng):
+        qt = quantize_weights(heavy_tailed(rng), ratio=0.03)
+        assert np.abs(qt.levels).max() <= 127
+
+    def test_normal_values_fit_4bit(self, rng):
+        qt = quantize_weights(heavy_tailed(rng), ratio=0.03)
+        normal = qt.levels[~qt.outlier_mask]
+        assert np.abs(normal).max() <= 7
+
+    def test_roundtrip_error_bound_in_bulk(self, rng):
+        w = heavy_tailed(rng)
+        qt = quantize_weights(w, ratio=0.03)
+        deq = qt.dequantize()
+        in_range = np.abs(w) <= 127 * qt.delta
+        err = np.abs(deq - w)[in_range]
+        assert (err <= qt.delta / 2 + 1e-12).all()
+
+    def test_oaq_beats_linear_on_heavy_tails(self, rng):
+        """The paper's core claim: same 4 bits, far less error on the bulk."""
+        w = heavy_tailed(rng, tail=0.02, scale=10.0)
+        from repro.quant import quantize_linear
+
+        linear = quantize_linear(w, bits=4)
+        oaq = quantize_weights(w, ratio=0.03).dequantize()
+        assert mse(w, oaq) < mse(w, linear) / 4
+        assert sqnr_db(w, oaq) > sqnr_db(w, linear) + 6.0
+
+    def test_ratio_zero_equals_linear(self, rng):
+        """OAQ at ratio 0 with equal bit widths is plain linear quantization."""
+        w = rng.normal(size=500)
+        from repro.quant import quantize_linear
+
+        oaq = quantize_weights(w, ratio=0.0, normal_bits=4, outlier_bits=4).dequantize()
+        linear = quantize_linear(w, bits=4)
+        np.testing.assert_allclose(oaq, linear, atol=1e-12)
+
+    def test_all_zero_weights(self):
+        qt = quantize_weights(np.zeros(64), ratio=0.03)
+        assert (qt.levels == 0).all()
+        assert qt.outlier_count == 0
+
+    @given(st.floats(0.0, 0.2), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_error_in_ratio(self, ratio, seed):
+        """More outliers kept at high precision -> no worse reconstruction."""
+        rng = np.random.default_rng(seed)
+        w = heavy_tailed(rng, n=4000)
+        base = mse(w, quantize_weights(w, ratio=0.0, outlier_bits=4, normal_bits=4).dequantize())
+        better = mse(w, quantize_weights(w, ratio=max(ratio, 0.001)).dequantize())
+        assert better <= base + 1e-12
+
+
+class TestActivationQuantization:
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            quantize_activations(rng.normal(size=10), threshold=1.0)
+
+    def test_outliers_exceed_normal_grid(self, rng):
+        a = np.abs(heavy_tailed(rng))
+        t = magnitude_threshold(a, 0.03, over_nonzero=True)
+        qt = quantize_activations(a, threshold=t)
+        assert qt.outlier_mask.any()
+        assert (qt.levels[qt.outlier_mask] > 15).all()
+        assert qt.levels.max() <= 65535
+
+    def test_effective_ratio_uses_nonzero(self, rng):
+        a = np.concatenate([np.zeros(5000), np.abs(heavy_tailed(rng, n=5000))])
+        t = magnitude_threshold(a, 0.03, over_nonzero=True)
+        qt = quantize_activations(a, threshold=t)
+        assert qt.effective_outlier_ratio() == pytest.approx(0.03, abs=0.01)
+        assert qt.outlier_ratio < qt.effective_outlier_ratio()
+
+    def test_zero_threshold_degenerate(self):
+        qt = quantize_activations(np.zeros(16), threshold=0.0)
+        assert (qt.levels == 0).all()
+
+    def test_8bit_outlier_grid(self, rng):
+        a = np.abs(heavy_tailed(rng)) * 100
+        t = magnitude_threshold(a, 0.03, over_nonzero=True)
+        qt = quantize_activations(a, threshold=t, outlier_bits=8)
+        assert qt.levels.max() <= 255
+
+
+class TestConfig:
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            OutlierQuantConfig(ratio=1.0)
+        with pytest.raises(ValueError):
+            OutlierQuantConfig(ratio=-0.1)
+
+    def test_outlier_narrower_than_normal(self):
+        with pytest.raises(ValueError):
+            OutlierQuantConfig(normal_bits=8, outlier_bits=4)

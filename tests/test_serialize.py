@@ -1,0 +1,68 @@
+"""Tests for result serialization (repro.harness.serialize)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import EnergyBreakdown
+from repro.arch.stats import LayerStats, RunStats
+from repro.harness import breakdown_experiment, fig17_multi_outlier
+from repro.harness.serialize import load_json, run_stats_rows, save_csv, save_json, to_jsonable
+
+
+def make_run():
+    run = RunStats(accelerator="olaccel16", network="testnet")
+    run.add(LayerStats("conv1", cycles=100.0, energy=EnergyBreakdown(1, 2, 3, 4), macs=1000))
+    run.add(LayerStats("conv2", cycles=50.0, energy=EnergyBreakdown(5, 6, 7, 8), macs=500))
+    return run
+
+
+class TestToJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        out = to_jsonable({"a": np.float64(1.5), "b": np.int32(2), "c": np.arange(3)})
+        assert out == {"a": 1.5, "b": 2, "c": [0, 1, 2]}
+
+    def test_dataclasses(self):
+        out = to_jsonable(EnergyBreakdown(dram=1.0, buffer=2.0))
+        assert out["dram"] == 1.0 and out["local"] == 0.0
+
+    def test_tuple_keys_joined(self):
+        out = to_jsonable({("olaccel16", 4): [1.0]})
+        assert out == {"olaccel16/4": [1.0]}
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_experiment_results_serialize(self):
+        """Real experiment payloads pass through without error."""
+        to_jsonable(fig17_multi_outlier(ratios=(0.01,), lane_counts=(16,)))
+        result = breakdown_experiment("alexnet")
+        to_jsonable({"cycles": result.normalized_cycles(), "energy": result.normalized_energy()})
+
+
+class TestFiles:
+    def test_json_roundtrip(self, tmp_path):
+        payload = {"x": 1, "y": [1.5, 2.5]}
+        path = save_json(payload, tmp_path / "out.json")
+        assert load_json(path) == payload
+
+    def test_run_stats_rows(self):
+        rows = run_stats_rows(make_run())
+        assert len(rows) == 2
+        assert rows[0]["layer"] == "conv1"
+        assert rows[0]["energy_total_pj"] == 10.0
+        assert rows[1]["accelerator"] == "olaccel16"
+
+    def test_csv_writes_header_and_rows(self, tmp_path):
+        path = save_csv(run_stats_rows(make_run()), tmp_path / "runs.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("accelerator,")
+
+    def test_csv_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv([], tmp_path / "empty.csv")
+
+    def test_nested_directory_created(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "deep" / "dir" / "out.json")
+        assert path.exists()

@@ -1,0 +1,251 @@
+"""Cross-simulator invariant tests: OLAccel vs Eyeriss vs ZeNA (Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.workload import LayerWorkload, NetworkWorkload, from_spec
+from repro.baselines import (
+    EyerissSimulator,
+    ZenaSimulator,
+    eyeriss16,
+    eyeriss8,
+    zena16,
+    zena8,
+)
+from repro.harness import conv_only, paper_workload
+from repro.nn.zoo_paper import alexnet_spec
+from repro.olaccel import OLAccelSimulator, olaccel16, olaccel8
+
+
+@pytest.fixture(scope="module")
+def alexnet_conv():
+    return paper_workload("alexnet")
+
+
+def make_layer(**overrides):
+    base = dict(
+        name="test",
+        kind="conv",
+        macs=3 * 3 * 64 * 64 * 28 * 28,
+        weight_count=3 * 3 * 64 * 64,
+        input_count=64 * 28 * 28,
+        output_count=64 * 28 * 28,
+        out_channels=64,
+        kernel=3,
+        stride=1,
+        act_density=0.5,
+        weight_density=0.5,
+    )
+    base.update(overrides)
+    return LayerWorkload(**base)
+
+
+class TestWorkload:
+    def test_from_spec_layer_count(self):
+        net = from_spec(alexnet_spec())
+        assert len(net.layers) == 8
+
+    def test_conv_only_strips_fc(self):
+        net = conv_only(from_spec(alexnet_spec()))
+        assert len(net.layers) == 5
+        assert all(l.kind == "conv" for l in net.layers)
+
+    def test_with_ratio_keeps_first_layer(self):
+        net = paper_workload("alexnet", ratio=0.05)
+        assert net.layers[0].act_outlier_ratio == 0.0  # raw input
+        assert net.layers[1].act_outlier_ratio == 0.05
+
+    def test_out_groups(self):
+        assert make_layer(out_channels=64).out_groups == 4
+        assert make_layer(out_channels=65).out_groups == 5
+
+    def test_invalid_density_raises(self):
+        with pytest.raises(ValueError):
+            make_layer(act_density=1.5)
+
+
+class TestEyeriss:
+    def test_cycles_sparsity_independent(self):
+        sim = EyerissSimulator(eyeriss16())
+        dense = sim.simulate_layer(make_layer(act_density=1.0))
+        sparse = sim.simulate_layer(make_layer(act_density=0.1))
+        assert dense.cycles == sparse.cycles
+
+    def test_cycles_same_for_16_and_8(self, alexnet_conv):
+        c16 = EyerissSimulator(eyeriss16()).simulate_network(alexnet_conv).total_cycles
+        c8 = EyerissSimulator(eyeriss8()).simulate_network(alexnet_conv).total_cycles
+        assert c16 == pytest.approx(c8)
+
+    def test_energy_halves_ish_at_8bit(self, alexnet_conv):
+        e16 = EyerissSimulator(eyeriss16()).simulate_network(alexnet_conv).total_energy.total
+        e8 = EyerissSimulator(eyeriss8()).simulate_network(alexnet_conv).total_energy.total
+        assert 0.3 < e8 / e16 < 0.7
+
+    def test_zero_gating_saves_logic_only(self):
+        sim = EyerissSimulator(eyeriss16())
+        dense = sim.simulate_layer(make_layer(act_density=1.0))
+        sparse = sim.simulate_layer(make_layer(act_density=0.2))
+        assert sparse.energy.logic < dense.energy.logic
+        assert sparse.energy.dram == dense.energy.dram
+        assert sparse.energy.local == dense.energy.local
+
+    def test_act_spill_adds_dram(self):
+        small = EyerissSimulator(eyeriss16(buffer_bytes=16 * 1024))
+        big = EyerissSimulator(eyeriss16(buffer_bytes=16 * 1024 * 1024))
+        layer = make_layer()
+        assert small.simulate_layer(layer).energy.dram > big.simulate_layer(layer).energy.dram
+
+
+class TestZena:
+    def test_skips_zero_weights_and_acts(self):
+        sim = ZenaSimulator(zena16())
+        dense = sim.simulate_layer(make_layer(act_density=1.0, weight_density=1.0))
+        sparse = sim.simulate_layer(make_layer(act_density=0.5, weight_density=0.5))
+        assert sparse.cycles == pytest.approx(dense.cycles * 0.25)
+
+    def test_faster_than_eyeriss_on_sparse(self, alexnet_conv):
+        zena = ZenaSimulator(zena16()).simulate_network(alexnet_conv)
+        eyeriss = EyerissSimulator(eyeriss16()).simulate_network(alexnet_conv)
+        assert zena.total_cycles < eyeriss.total_cycles
+        assert zena.total_energy.total < eyeriss.total_energy.total
+
+    def test_sparse_weight_storage(self):
+        sim = ZenaSimulator(zena16())
+        dense_w = sim.simulate_layer(make_layer(weight_density=1.0, act_density=0.999))
+        sparse_w = sim.simulate_layer(make_layer(weight_density=0.2, act_density=0.999))
+        assert sparse_w.energy.dram < dense_w.energy.dram
+
+    def test_paper_alexnet_speedup_range(self, alexnet_conv):
+        """ZeNA reported ~4.4x over dense baselines on pruned AlexNet."""
+        zena = ZenaSimulator(zena16()).simulate_network(alexnet_conv)
+        eyeriss = EyerissSimulator(eyeriss16()).simulate_network(alexnet_conv)
+        speedup = eyeriss.total_cycles / zena.total_cycles
+        assert 2.0 < speedup < 6.0
+
+
+class TestOLAccel:
+    def test_config_mac_counts(self):
+        assert olaccel16().n_macs == 768  # Table I, 16-bit comparison
+        assert olaccel8().n_macs == 576  # Table I, 8-bit comparison
+        assert olaccel16().n_outlier_groups == 8
+
+    def test_cycles_increase_with_outlier_ratio(self):
+        """Fig. 14: more outliers -> more multi-outlier chunks -> more cycles."""
+        sim = OLAccelSimulator(olaccel16())
+        costs = [
+            sim.simulate_layer(make_layer(act_outlier_ratio=r, weight_outlier_ratio=r)).cycles
+            for r in (0.0, 0.02, 0.05)
+        ]
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_energy_increases_with_outlier_ratio(self):
+        sim = OLAccelSimulator(olaccel16())
+        e = [
+            sim.simulate_layer(make_layer(act_outlier_ratio=r, weight_outlier_ratio=r)).energy.total
+            for r in (0.0, 0.02, 0.05)
+        ]
+        assert e[0] < e[1] < e[2]
+
+    def test_zero_skip_reduces_cycles(self):
+        sim = OLAccelSimulator(olaccel16())
+        dense = sim.simulate_layer(make_layer(act_density=0.9))
+        sparse = sim.simulate_layer(make_layer(act_density=0.2))
+        assert sparse.cycles < dense.cycles
+
+    def test_weight_density_does_not_change_cycles(self):
+        """OLAccel skips only zero activations (Sec. V)."""
+        sim = OLAccelSimulator(olaccel16())
+        a = sim.simulate_layer(make_layer(weight_density=1.0))
+        b = sim.simulate_layer(make_layer(weight_density=0.3))
+        assert a.cycles == b.cycles
+
+    def test_first_layer_dense_factor(self):
+        sim = OLAccelSimulator(olaccel16())
+        normal = sim.simulate_layer(make_layer(act_density=1.0, act_outlier_ratio=0.0, weight_outlier_ratio=0.0))
+        first = sim.simulate_layer(make_layer(is_first=True, first_weight_bits=8))
+        # 16-bit acts x 8-bit weights = 8 passes on 4-bit MACs (Sec. V).
+        assert first.cycles == pytest.approx(normal.cycles * 8, rel=0.05)
+
+    def test_first_layer_8bit_comparison_factor(self):
+        sim = OLAccelSimulator(olaccel8())
+        normal = sim.simulate_layer(make_layer(act_density=1.0, act_outlier_ratio=0.0, weight_outlier_ratio=0.0))
+        first = sim.simulate_layer(make_layer(is_first=True, first_weight_bits=8))
+        assert first.cycles == pytest.approx(normal.cycles * 4, rel=0.05)
+
+    def test_outlier_path_parallel_not_additive(self):
+        """Outlier work below the dense work does not extend the layer."""
+        sim = OLAccelSimulator(olaccel16())
+        base = sim.simulate_layer(make_layer(act_outlier_ratio=0.0, weight_outlier_ratio=0.0))
+        with_outliers = sim.simulate_layer(make_layer(act_outlier_ratio=0.03, weight_outlier_ratio=0.0))
+        # 3% outliers on 6x fewer groups is ~18% of dense work: hidden.
+        assert with_outliers.cycles < base.cycles * 1.05
+
+    def test_massive_outlier_ratio_becomes_bottleneck(self):
+        sim = OLAccelSimulator(olaccel16())
+        stats = sim.simulate_layer(make_layer(act_outlier_ratio=0.5, weight_outlier_ratio=0.0))
+        assert stats.extras["outlier_cycles"] > 0
+        # outlier path: 50% of nonzero on 8 groups vs 50%-ish on 48 groups
+        assert stats.cycles == pytest.approx(stats.extras["outlier_cycles"], rel=0.05)
+
+    def test_run_skip_idle_accounting(self, alexnet_conv):
+        sim = OLAccelSimulator(olaccel16())
+        for layer in alexnet_conv.layers:
+            stats = sim.simulate_layer(layer)
+            group_cycles = stats.cycles * sim.config.n_groups
+            assert stats.run_cycles + stats.skip_cycles <= group_cycles * 1.001
+
+
+class TestHeadlineResults:
+    """The paper's Sec. V headline orderings must hold."""
+
+    NETWORKS = ("alexnet", "vgg16", "resnet18")
+
+    @pytest.mark.parametrize("network", NETWORKS)
+    def test_olaccel16_beats_zena16_energy(self, network):
+        from repro.harness import breakdown_experiment
+
+        result = breakdown_experiment(network)
+        reduction = result.reduction("olaccel16", "zena16", "energy")
+        assert 0.25 < reduction < 0.75  # paper: 43.5% / 56.7% / 62.2%
+
+    @pytest.mark.parametrize("network", NETWORKS)
+    def test_olaccel8_beats_zena8_energy(self, network):
+        from repro.harness import breakdown_experiment
+
+        result = breakdown_experiment(network)
+        assert result.reduction("olaccel8", "zena8", "energy") > 0.1
+
+    @pytest.mark.parametrize("network", NETWORKS)
+    def test_cycle_ordering(self, network):
+        from repro.harness import breakdown_experiment
+
+        cycles = breakdown_experiment(network).normalized_cycles()
+        assert cycles["olaccel16"] < cycles["zena16"] < cycles["eyeriss16"]
+
+    def test_alexnet_cycle_reduction_vs_eyeriss(self):
+        from repro.harness import breakdown_experiment
+
+        result = breakdown_experiment("alexnet")
+        reduction = 1.0 - result.normalized_cycles()["olaccel16"]
+        assert 0.65 < reduction < 0.8  # paper: 71.8%
+
+    def test_resnet_first_layer_dominates_olaccel(self):
+        """Sec. V: ResNet-18's C1 takes ~half of OLAccel16's cycles."""
+        from repro.harness import breakdown_experiment
+
+        result = breakdown_experiment("resnet18")
+        layer_cycles = result.layer_cycles("olaccel16")
+        total = sum(layer_cycles.values())
+        assert 0.3 < layer_cycles["conv1"] / total < 0.65
+
+    def test_memory_components_dominate_energy_gain(self):
+        """Sec. V: 'the energy gain mostly comes from the memory components'."""
+        from repro.harness import breakdown_experiment
+
+        result = breakdown_experiment("alexnet")
+        en = result.normalized_energy()
+        memory_gain = (en["zena16"]["dram"] + en["zena16"]["buffer"] + en["zena16"]["local"]) - (
+            en["olaccel16"]["dram"] + en["olaccel16"]["buffer"] + en["olaccel16"]["local"]
+        )
+        logic_gain = en["zena16"]["logic"] - en["olaccel16"]["logic"]
+        assert memory_gain > logic_gain

@@ -1,0 +1,84 @@
+"""Collect every paper-vs-measured number for EXPERIMENTS.md.
+
+Runs the full experiment suite (training mini models on first use) and
+prints a compact summary of the quantities EXPERIMENTS.md records.
+
+Run:  python tools/collect_results.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import (
+    breakdown_experiment,
+    fig1_weight_distributions,
+    fig2_accuracy_vs_ratio,
+    fig3_accuracy_networks,
+    fig14_ratio_sweep,
+    fig15_scalability,
+    fig16_outlier_histogram,
+    fig17_multi_outlier,
+    fig18_utilization,
+    fig19_chunk_cycles,
+    run_all_ablations,
+    table1_configurations,
+)
+
+
+def main() -> None:
+    print("== Table I ==")
+    print(table1_configurations().format())
+
+    print("\n== Fig. 1 ==")
+    fig1 = fig1_weight_distributions()
+    print(f"linear SQNR {fig1.linear_sqnr_db:.2f} dB vs OAQ {fig1.oaq_sqnr_db:.2f} dB; "
+          f"achieved outlier ratio {fig1.outlier_ratio:.4f}")
+
+    print("\n== Fig. 2 ==")
+    print(fig2_accuracy_vs_ratio().format())
+
+    print("\n== Fig. 3 ==")
+    print(fig3_accuracy_networks().format())
+
+    for name, fig in (("alexnet", "Fig. 11"), ("vgg16", "Fig. 12"), ("resnet18", "Fig. 13"),
+                      ("resnet101", "ext"), ("densenet121", "ext")):
+        result = breakdown_experiment(name)
+        cyc = result.normalized_cycles()
+        print(f"\n== {fig} ({name}) ==")
+        print(f"E red 16: {result.reduction('olaccel16', 'zena16') * 100:.1f}%  "
+              f"E red 8: {result.reduction('olaccel8', 'zena8') * 100:.1f}%  "
+              f"cyc red 16: {result.reduction('olaccel16', 'zena16', 'cycles') * 100:.1f}%  "
+              f"cyc red 8: {result.reduction('olaccel8', 'zena8', 'cycles') * 100:.1f}%  "
+              f"cyc red vs eyeriss16: {(1 - cyc['olaccel16']) * 100:.1f}% / "
+              f"vs eyeriss8: {(1 - cyc['olaccel8'] / cyc['eyeriss8']) * 100:.1f}%")
+        if name == "resnet18":
+            lc = result.layer_cycles("olaccel16")
+            print(f"conv1 share of OLAccel16 cycles: {lc['conv1'] / sum(lc.values()) * 100:.1f}%")
+
+    print("\n== Fig. 14 ==")
+    print(fig14_ratio_sweep().format())
+
+    print("\n== Fig. 15 ==")
+    print(fig15_scalability().format())
+
+    print("\n== Fig. 16 ==")
+    fig16 = fig16_outlier_histogram()
+    print(f"per-image mean {fig16.mean_ratio:.4f} (target {fig16.target_ratio})")
+
+    print("\n== Fig. 17 ==")
+    fig17 = fig17_multi_outlier()
+    for lanes, series in sorted(fig17.series.items()):
+        print(f"lanes={lanes}: P(>=2) at 5% = {series[-1]:.3f}")
+
+    print("\n== Fig. 18 ==")
+    print(fig18_utilization().format())
+
+    print("\n== Fig. 19 ==")
+    print(fig19_chunk_cycles().format())
+
+    print("\n== Ablations ==")
+    for result in run_all_ablations("alexnet"):
+        print(result.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Differential fuzzing of the OLAccel integer datapath.
+
+Generates random quantized tensors across the full parameter space
+(shapes, strides, padding, densities, outlier ratios, extreme levels) and
+checks three independent implementations against each other:
+
+1. the golden integer reference (`reference_conv2d_int`),
+2. the bit-exact split datapath (`olaccel_conv2d` — normal/outlier paths),
+3. the chunk tables serialized through the literal 80-bit words
+   (`encode_table`/`decode_table`) and re-used by the datapath.
+
+Run:  python tools/fuzz_datapath.py [iterations] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.arch import decode_table, encode_table, pack_weights
+from repro.olaccel import olaccel_conv2d, reference_conv2d_int
+
+
+def random_case(rng: np.random.Generator):
+    c_in = int(rng.integers(1, 24))
+    c_out = int(rng.integers(1, 40))
+    size = int(rng.integers(3, 10))
+    kernel = int(rng.choice([1, 3, 5]))
+    stride = int(rng.choice([1, 2]))
+    pad = int(rng.integers(0, kernel))
+    if (size + 2 * pad - kernel) // stride + 1 <= 0:
+        pad = kernel  # guarantee a valid output extent
+
+    density = float(rng.uniform(0.0, 1.0))
+    outlier = float(rng.uniform(0.0, 0.2))
+    acts = rng.integers(0, 16, size=(int(rng.integers(1, 3)), c_in, size, size))
+    acts[rng.random(acts.shape) >= density] = 0
+    hot = rng.random(acts.shape) < outlier
+    acts[hot] = rng.integers(16, 65536, size=int(hot.sum()))
+
+    weights = rng.integers(-7, 8, size=(c_out, c_in, kernel, kernel))
+    hot_w = rng.random(weights.shape) < outlier
+    weights[hot_w] = rng.integers(8, 128, size=int(hot_w.sum())) * rng.choice([-1, 1], size=int(hot_w.sum()))
+    return acts, weights, stride, pad
+
+
+def run(iterations: int, seed: int) -> int:
+    rng = np.random.default_rng(seed)
+    failures = 0
+    for i in range(iterations):
+        acts, weights, stride, pad = random_case(rng)
+        reference = reference_conv2d_int(acts, weights, stride, pad)
+
+        result = olaccel_conv2d(acts, weights, stride, pad, act_normal_max=15)
+        if not np.array_equal(result.psum, reference):
+            failures += 1
+            print(f"[{i}] datapath mismatch: shape={acts.shape} w={weights.shape} s={stride} p={pad}")
+            continue
+
+        packed = pack_weights(weights.reshape(weights.shape[0], -1))
+        if len(packed.spill_chunks) <= 254:
+            base_words, spill_words = encode_table(packed.base_chunks, packed.spill_chunks)
+            packed.base_chunks, packed.spill_chunks = decode_table(base_words, spill_words)
+        via_words = olaccel_conv2d(acts, weights, stride, pad, packed=packed)
+        if not np.array_equal(via_words.psum, reference):
+            failures += 1
+            print(f"[{i}] bit-codec mismatch: shape={acts.shape} w={weights.shape}")
+
+    print(f"{iterations} cases, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    sys.exit(run(iterations, seed))
