@@ -33,7 +33,7 @@ from .bitcodec import MAX_SPILL_CHUNKS, decode_chunk, decode_table, encode_chunk
 from .memory import Footprint, OLAccelTiling, check_network, layer_footprint, olaccel_tiling
 from .energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyModel, EnergyParams
 from .packing import PackedWeights, pack_weights
-from .stats import LayerStats, RunStats
+from .stats import LayerStats, RunStats, STATS_SCHEMA_VERSION
 
 __all__ = [
     "AreaParams",
@@ -77,4 +77,5 @@ __all__ = [
     "pack_weights",
     "LayerStats",
     "RunStats",
+    "STATS_SCHEMA_VERSION",
 ]

@@ -94,6 +94,16 @@ class EnergyBreakdown:
     def as_dict(self) -> Dict[str, float]:
         return {"dram": self.dram, "buffer": self.buffer, "local": self.local, "logic": self.logic}
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "EnergyBreakdown":
+        """Inverse of :meth:`as_dict` (extra keys such as totals ignored)."""
+        return cls(
+            dram=data.get("dram", 0.0),
+            buffer=data.get("buffer", 0.0),
+            local=data.get("local", 0.0),
+            logic=data.get("logic", 0.0),
+        )
+
 
 class EnergyModel:
     """Per-access energies built from :class:`EnergyParams`."""

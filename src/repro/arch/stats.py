@@ -1,13 +1,24 @@
-"""Simulation statistics containers shared by all accelerator models."""
+"""Simulation statistics containers shared by all accelerator models.
+
+:class:`LayerStats` and :class:`RunStats` carry the cycle/energy outcome
+of a simulation and serialize losslessly through ``to_dict`` /
+``from_dict``. The dict layout is the versioned "run-stats" schema that
+``repro.harness.serialize`` writes to JSON/CSV; bump
+:data:`STATS_SCHEMA_VERSION` whenever a field is added, removed or
+renamed, and record the change in docs/EXPERIMENTS.md.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from .energy import EnergyBreakdown
 
-__all__ = ["LayerStats", "RunStats"]
+__all__ = ["LayerStats", "RunStats", "STATS_SCHEMA_VERSION"]
+
+#: Version of the LayerStats/RunStats dict schema (see docs/EXPERIMENTS.md).
+STATS_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -26,6 +37,34 @@ class LayerStats:
     skip_cycles: float = 0.0
     idle_cycles: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (energy expanded by component, in pJ)."""
+        return {
+            "layer_name": self.layer_name,
+            "cycles": self.cycles,
+            "energy": self.energy.as_dict(),
+            "macs": self.macs,
+            "ops_issued": self.ops_issued,
+            "run_cycles": self.run_cycles,
+            "skip_cycles": self.skip_cycles,
+            "idle_cycles": self.idle_cycles,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LayerStats":
+        return cls(
+            layer_name=data["layer_name"],
+            cycles=data["cycles"],
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+            macs=data.get("macs", 0),
+            ops_issued=data.get("ops_issued", 0.0),
+            run_cycles=data.get("run_cycles", 0.0),
+            skip_cycles=data.get("skip_cycles", 0.0),
+            idle_cycles=data.get("idle_cycles", 0.0),
+            extras=dict(data.get("extras", {})),
+        )
 
 
 @dataclass
@@ -50,8 +89,51 @@ class RunStats:
             total += layer.energy
         return total
 
+    @property
+    def total_run_cycles(self) -> float:
+        return sum(layer.run_cycles for layer in self.layers)
+
+    @property
+    def total_skip_cycles(self) -> float:
+        return sum(layer.skip_cycles for layer in self.layers)
+
+    @property
+    def total_idle_cycles(self) -> float:
+        return sum(layer.idle_cycles for layer in self.layers)
+
     def cycles_by_layer(self) -> Dict[str, float]:
         return {layer.layer_name: layer.cycles for layer in self.layers}
 
     def energy_by_component(self) -> Dict[str, float]:
         return self.total_energy.as_dict()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned plain-dict form; round-trips through :meth:`from_dict`."""
+        return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "kind": "run_stats",
+            "accelerator": self.accelerator,
+            "network": self.network,
+            "totals": {
+                "cycles": self.total_cycles,
+                "run_cycles": self.total_run_cycles,
+                "skip_cycles": self.total_skip_cycles,
+                "idle_cycles": self.total_idle_cycles,
+                "energy": self.total_energy.as_dict(),
+            },
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunStats":
+        version = data.get("schema_version", STATS_SCHEMA_VERSION)
+        if version != STATS_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported run-stats schema version {version} "
+                f"(this build reads version {STATS_SCHEMA_VERSION})"
+            )
+        return cls(
+            accelerator=data["accelerator"],
+            network=data["network"],
+            layers=[LayerStats.from_dict(layer) for layer in data.get("layers", [])],
+        )

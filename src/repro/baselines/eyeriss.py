@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from ..arch.energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyModel
 from ..arch.stats import LayerStats, RunStats
 from ..arch.workload import LayerWorkload, NetworkWorkload
+from ..obs import NULL_REGISTRY, Registry
 
 __all__ = ["EyerissConfig", "EyerissSimulator", "eyeriss16", "eyeriss8"]
 
@@ -61,11 +62,22 @@ def eyeriss8(buffer_bytes: int = 196 * 1024) -> EyerissConfig:
 
 
 class EyerissSimulator:
-    """Cycle + energy model of the Eyeriss baseline."""
+    """Cycle + energy model of the Eyeriss baseline.
 
-    def __init__(self, config: EyerissConfig = None, energy: EnergyModel = DEFAULT_ENERGY):
+    ``obs`` hooks mirror the OLAccel simulator's: per-layer cycle and
+    gated-op counters under ``<config name>/<layer name>/…`` plus a
+    wall-clock timer per network; disabled by default.
+    """
+
+    def __init__(
+        self,
+        config: EyerissConfig = None,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        obs: Registry = None,
+    ):
         self.config = config or eyeriss16()
         self.energy = energy
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     def simulate_layer(self, layer: LayerWorkload) -> LayerStats:
         cfg = self.config
@@ -97,6 +109,13 @@ class EyerissSimulator:
         energy.logic = nonzero_ops * em.mac_energy(cfg.bits, cfg.bits, cfg.acc_bits)
         energy.logic += gated_ops * em.params.ctrl_pj_per_op
 
+        with self.obs.scope(layer.name):
+            self.obs.counter("cycles").add(cycles)
+            self.obs.counter("run_cycles").add(cycles)
+            self.obs.counter("macs").add(layer.macs)
+            self.obs.counter("gated_ops").add(gated_ops)
+            self.obs.counter("energy_pj").add(energy.total)
+
         return LayerStats(
             layer_name=layer.name,
             cycles=cycles,
@@ -108,8 +127,9 @@ class EyerissSimulator:
 
     def simulate_network(self, network: NetworkWorkload) -> RunStats:
         stats = RunStats(accelerator=self.config.name, network=network.name)
-        for layer in network.layers:
-            stats.add(self.simulate_layer(layer))
+        with self.obs.timer(f"simulate/{network.name}"), self.obs.scope(self.config.name):
+            for layer in network.layers:
+                stats.add(self.simulate_layer(layer))
         if stats.layers:
             last = network.layers[-1]
             stats.layers[-1].energy.dram += self.energy.dram_energy(last.output_count * self.config.bits)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from ..arch.energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyModel
 from ..arch.stats import LayerStats, RunStats
 from ..arch.workload import LayerWorkload, NetworkWorkload
+from ..obs import NULL_REGISTRY, Registry
 
 __all__ = ["ZenaConfig", "ZenaSimulator", "zena16", "zena8"]
 
@@ -53,11 +54,22 @@ def zena8(buffer_bytes: int = 196 * 1024) -> ZenaConfig:
 
 
 class ZenaSimulator:
-    """Cycle + energy model of the ZeNA baseline."""
+    """Cycle + energy model of the ZeNA baseline.
 
-    def __init__(self, config: ZenaConfig = None, energy: EnergyModel = DEFAULT_ENERGY):
+    ``obs`` hooks mirror the OLAccel simulator's: per-layer cycle and
+    skipped-MAC counters under ``<config name>/<layer name>/…`` plus a
+    wall-clock timer per network; disabled by default.
+    """
+
+    def __init__(
+        self,
+        config: ZenaConfig = None,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        obs: Registry = None,
+    ):
         self.config = config or zena16()
         self.energy = energy
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     def simulate_layer(self, layer: LayerWorkload) -> LayerStats:
         cfg = self.config
@@ -89,6 +101,13 @@ class ZenaSimulator:
         skipped = layer.macs - effective_macs
         energy.logic += skipped * 0.1 * em.params.ctrl_pj_per_op  # skip bookkeeping
 
+        with self.obs.scope(layer.name):
+            self.obs.counter("cycles").add(cycles)
+            self.obs.counter("run_cycles").add(cycles)
+            self.obs.counter("macs").add(layer.macs)
+            self.obs.counter("skipped_macs").add(skipped)
+            self.obs.counter("energy_pj").add(energy.total)
+
         return LayerStats(
             layer_name=layer.name,
             cycles=cycles,
@@ -100,8 +119,9 @@ class ZenaSimulator:
 
     def simulate_network(self, network: NetworkWorkload) -> RunStats:
         stats = RunStats(accelerator=self.config.name, network=network.name)
-        for layer in network.layers:
-            stats.add(self.simulate_layer(layer))
+        with self.obs.timer(f"simulate/{network.name}"), self.obs.scope(self.config.name):
+            for layer in network.layers:
+                stats.add(self.simulate_layer(layer))
         if stats.layers:
             last = network.layers[-1]
             stats.layers[-1].energy.dram += self.energy.dram_energy(

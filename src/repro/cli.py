@@ -7,18 +7,29 @@ Usage::
     python -m repro run fig11 fig13      # several
     python -m repro run all              # everything (trains mini models
                                          # on first use; cached afterwards)
+    python -m repro run fig11 --json out.json   # machine-readable results
+    python -m repro run fig11 --csv out.csv     # per-layer CSV rows
     python -m repro ablations            # design-choice ablations
     python -m repro compare resnet101    # breakdown for any zoo network
+    python -m repro profile alexnet      # wall-clock + simulated cycles
+    python -m repro export alexnet --out results/   # CSV + JSON breakdown
+
+``run``/``compare`` accept ``--json``/``--csv`` paths; ``profile``
+accepts ``--json``. The JSON layout is the versioned experiment
+envelope documented in docs/EXPERIMENTS.md. Unknown experiment ids and
+networks exit with status 2 and print the available choices.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from .harness import (
     breakdown_experiment,
+    experiment_csv_rows,
+    experiment_envelope,
     fig1_weight_distributions,
     fig2_accuracy_vs_ratio,
     fig3_accuracy_networks,
@@ -28,7 +39,10 @@ from .harness import (
     fig17_multi_outlier,
     fig18_utilization,
     fig19_chunk_cycles,
+    profile_network,
     run_all_ablations,
+    save_csv,
+    save_json,
     sweep_group_size,
     table1_configurations,
 )
@@ -55,6 +69,14 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
+def _unknown_network(network: str) -> int:
+    print(
+        f"unknown network {network!r}; available: {', '.join(sorted(MEMORY_TABLE))}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name, (_, description) in EXPERIMENTS.items():
@@ -62,18 +84,46 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _write_outputs(args: argparse.Namespace, envelopes: Dict[str, dict], csv_rows: List[dict]) -> int:
+    """Handle the shared ``--json``/``--csv`` flags; returns an exit code."""
+    if getattr(args, "json", None):
+        payload = next(iter(envelopes.values())) if len(envelopes) == 1 else envelopes
+        print(f"wrote {save_json(payload, args.json)}")
+    if getattr(args, "csv", None):
+        if not csv_rows:
+            print(
+                "no per-layer rows to write as CSV (only breakdown-style "
+                "experiments — fig11/12/13, compare — have them)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"wrote {save_csv(csv_rows, args.csv)}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str] = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)} (try `list`)", file=sys.stderr)
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
         return 2
+    envelopes: Dict[str, dict] = {}
+    csv_rows: List[dict] = []
     for name in names:
-        runner, _ = EXPERIMENTS[name]
+        runner, description = EXPERIMENTS[name]
+        result = runner()
         print(f"== {name} ==")
-        print(runner().format())
+        print(result.format())
         print()
-    return 0
+        if args.json:
+            envelopes[name] = experiment_envelope(name, result, description)
+        if args.csv:
+            csv_rows.extend(experiment_csv_rows(result))
+    return _write_outputs(args, envelopes, csv_rows)
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
@@ -86,18 +136,33 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     if args.network not in MEMORY_TABLE:
-        print(f"unknown network {args.network!r}; choices: {', '.join(MEMORY_TABLE)}", file=sys.stderr)
-        return 2
-    print(breakdown_experiment(args.network, ratio=args.ratio).format())
+        return _unknown_network(args.network)
+    result = breakdown_experiment(args.network, ratio=args.ratio)
+    print(result.format())
+    envelopes = {}
+    if args.json:
+        envelopes["compare"] = experiment_envelope(
+            "compare", result, f"cycle/energy breakdown for {args.network}"
+        )
+    csv_rows = experiment_csv_rows(result) if args.csv else []
+    return _write_outputs(args, envelopes, csv_rows)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.network not in MEMORY_TABLE:
+        return _unknown_network(args.network)
+    result = profile_network(args.network, ratio=args.ratio, event_sim_passes=args.passes)
+    print(result.format())
+    if args.json:
+        print(f"wrote {save_json(experiment_envelope('profile', result.to_dict()), args.json)}")
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from .harness.serialize import run_stats_rows, save_csv, save_json
+    from .harness.serialize import run_stats_rows
 
     if args.network not in MEMORY_TABLE:
-        print(f"unknown network {args.network!r}; choices: {', '.join(MEMORY_TABLE)}", file=sys.stderr)
-        return 2
+        return _unknown_network(args.network)
     result = breakdown_experiment(args.network, ratio=args.ratio)
     rows = []
     for run in result.runs.values():
@@ -111,6 +176,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_output_flags(parser: argparse.ArgumentParser, csv: bool = True) -> None:
+    parser.add_argument("--json", metavar="PATH", help="also write results as a JSON envelope")
+    if csv:
+        parser.add_argument("--csv", metavar="PATH", help="also write per-layer rows as CSV")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run experiments by id (or 'all')")
     run.add_argument("experiments", nargs="+", help="experiment ids, e.g. fig11 tab1, or 'all'")
+    _add_output_flags(run)
     run.set_defaults(func=_cmd_run)
 
     abl = sub.add_parser("ablations", help="design-choice ablations")
@@ -131,7 +203,18 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_ = sub.add_parser("compare", help="cycle/energy breakdown for one network")
     cmp_.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
     cmp_.add_argument("--ratio", type=float, default=0.03, help="outlier ratio (default 0.03)")
+    _add_output_flags(cmp_)
     cmp_.set_defaults(func=_cmd_compare)
+
+    prof = sub.add_parser("profile", help="wall-clock + simulated-cycle profile")
+    prof.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
+    prof.add_argument("--ratio", type=float, default=0.03, help="outlier ratio (default 0.03)")
+    prof.add_argument(
+        "--passes", type=int, default=512,
+        help="event-sim micro-trace sample size (0 disables; default 512)",
+    )
+    _add_output_flags(prof, csv=False)
+    prof.set_defaults(func=_cmd_profile)
 
     export = sub.add_parser("export", help="save a breakdown as CSV + JSON")
     export.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")

@@ -68,16 +68,16 @@ FIG3_RATIOS = {"alexnet": 0.035, "vgg": 0.01, "resnet": 0.03, "densenet": 0.03}
 ALL_ACCELERATORS = ("eyeriss16", "eyeriss8", "zena16", "zena8", "olaccel16", "olaccel8")
 
 
-def _simulator(kind: str, network: str, ratio: float = 0.03):
+def _simulator(kind: str, network: str, ratio: float = 0.03, obs=None):
     bits = 16 if kind.endswith("16") else 8
     mem = memory_bytes(network, bits)
     if kind.startswith("eyeriss"):
-        return EyerissSimulator(eyeriss16(mem) if bits == 16 else eyeriss8(mem))
+        return EyerissSimulator(eyeriss16(mem) if bits == 16 else eyeriss8(mem), obs=obs)
     if kind.startswith("zena"):
-        return ZenaSimulator(zena16(mem) if bits == 16 else zena8(mem))
+        return ZenaSimulator(zena16(mem) if bits == 16 else zena8(mem), obs=obs)
     if kind.startswith("olaccel"):
         cfg = olaccel16(mem, ratio) if bits == 16 else olaccel8(mem, ratio)
-        return OLAccelSimulator(cfg)
+        return OLAccelSimulator(cfg, obs=obs)
     raise ValueError(f"unknown accelerator kind {kind!r}")
 
 

@@ -4,6 +4,16 @@ The figure drivers return rich dataclasses; this module flattens them to
 plain dictionaries and writes JSON or CSV so results can be archived,
 diffed across runs, or plotted outside Python. Round-trip tested for the
 structures the benchmarks produce.
+
+Two documented, versioned schemas live here (full field reference in
+docs/EXPERIMENTS.md):
+
+- the **experiment envelope** (``experiment_envelope``) wrapping any
+  experiment result under ``{"schema": "repro.experiment/v1", ...}`` —
+  what ``repro run --json`` writes;
+- the **run-stats document** (``RunStats.to_dict`` in
+  ``repro.arch.stats``) — one accelerator x network simulation with
+  per-layer rows, lossless through ``run_stats_from_dict``.
 """
 
 from __future__ import annotations
@@ -16,9 +26,24 @@ from typing import Any, Dict, Iterable, List, Union
 
 import numpy as np
 
-from ..arch.stats import LayerStats, RunStats
+from ..arch.stats import LayerStats, RunStats, STATS_SCHEMA_VERSION
 
-__all__ = ["to_jsonable", "save_json", "load_json", "run_stats_rows", "save_csv"]
+__all__ = [
+    "EXPERIMENT_SCHEMA",
+    "SCHEMA_VERSION",
+    "to_jsonable",
+    "save_json",
+    "load_json",
+    "run_stats_rows",
+    "run_stats_from_dict",
+    "save_csv",
+    "experiment_envelope",
+    "experiment_csv_rows",
+]
+
+#: Version of the experiment-envelope schema written by ``repro run --json``.
+SCHEMA_VERSION = 1
+EXPERIMENT_SCHEMA = f"repro.experiment/v{SCHEMA_VERSION}"
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -83,6 +108,62 @@ def run_stats_rows(run: RunStats) -> List[Dict[str, Any]]:
                 "energy_total_pj": layer.energy.total,
             }
         )
+    return rows
+
+
+def run_stats_from_dict(data: Dict[str, Any]) -> RunStats:
+    """Rebuild a :class:`RunStats` from its ``to_dict`` document."""
+    return RunStats.from_dict(data)
+
+
+def experiment_envelope(experiment_id: str, result: Any, description: str = "") -> Dict[str, Any]:
+    """Wrap one experiment result in the versioned JSON envelope.
+
+    The envelope is self-describing: ``schema`` names the format,
+    ``experiment`` the id (``fig11``, ``tab1``, ``profile``, ...), and
+    ``result`` holds the JSON-converted driver output. :class:`RunStats`
+    values found inside the result are serialized through their own
+    versioned ``to_dict`` so they round-trip losslessly.
+    """
+    return {
+        "schema": EXPERIMENT_SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "stats_schema_version": STATS_SCHEMA_VERSION,
+        "experiment": experiment_id,
+        "description": description,
+        "result": to_jsonable(_expand_run_stats(result)),
+    }
+
+
+def _expand_run_stats(obj: Any) -> Any:
+    """Swap embedded RunStats for their versioned dict form, recursively."""
+    if isinstance(obj, RunStats):
+        return obj.to_dict()
+    if isinstance(obj, dict):
+        return {k: _expand_run_stats(v) for k, v in obj.items()}
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            name: _expand_run_stats(getattr(obj, name))
+            for name in obj.__dataclass_fields__
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_expand_run_stats(v) for v in obj]
+    return obj
+
+
+def experiment_csv_rows(result: Any) -> List[Dict[str, Any]]:
+    """Per-layer CSV rows for any result that exposes ``.runs`` of RunStats.
+
+    Breakdown-style experiments (fig11/12/13, ``compare``) carry one
+    :class:`RunStats` per accelerator; other experiments have no natural
+    tabular layer form and yield no rows.
+    """
+    rows: List[Dict[str, Any]] = []
+    runs = getattr(result, "runs", None)
+    if isinstance(runs, dict):
+        for run in runs.values():
+            if isinstance(run, RunStats):
+                rows.extend(run_stats_rows(run))
     return rows
 
 

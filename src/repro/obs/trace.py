@@ -1,0 +1,75 @@
+"""Ordered event traces for the cycle-stepped simulators.
+
+Counters (``repro.obs.registry``) answer "how many"; traces answer
+"when". A :class:`Tracer` collects timestamped :class:`TraceEvent`
+records — pass completions in the event simulator, layer boundaries in
+the per-layer simulators — into a bounded ring so tracing a long run
+cannot exhaust memory. Like the registry, a disabled tracer degrades to
+a shared no-op singleton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped simulator event.
+
+    ``cycle`` is the simulated cycle (or layer index for per-layer
+    events); ``kind`` is a short category like ``pass_done`` or
+    ``layer``; ``payload`` holds small JSON-able details.
+    """
+
+    cycle: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded collector of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        #: events discarded once the ring filled (oldest are dropped)
+        self.dropped = 0
+
+    def emit(self, cycle: int, kind: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.capacity:
+            self.events.pop(0)
+            self.dropped += 1
+        self.events.append(TraceEvent(cycle=cycle, kind=kind, payload=payload))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [
+            {"cycle": e.cycle, "kind": e.kind, **e.payload} for e in self.events
+        ]
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+
+class _NullTracer(Tracer):
+    def __init__(self):
+        super().__init__(capacity=1, enabled=False)
+
+    def emit(self, cycle: int, kind: str, **payload: Any) -> None:
+        pass
+
+
+#: Shared disabled tracer — the default of every traced simulator.
+NULL_TRACER: Tracer = _NullTracer()

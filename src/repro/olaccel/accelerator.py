@@ -42,6 +42,7 @@ from ..arch.chunks import WEIGHT_CHUNK_BITS
 from ..arch.energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyModel
 from ..arch.stats import LayerStats, RunStats
 from ..arch.workload import LayerWorkload, NetworkWorkload
+from ..obs import NULL_REGISTRY, Registry
 from .cluster import load_balance_efficiency
 from .config import OLAccelConfig, olaccel16
 from .outlier_group import outlier_work
@@ -77,11 +78,23 @@ class _LayerDerived:
 
 
 class OLAccelSimulator:
-    """Cycle + energy model of one OLAccel instance."""
+    """Cycle + energy model of one OLAccel instance.
 
-    def __init__(self, config: OLAccelConfig = None, energy: EnergyModel = DEFAULT_ENERGY):
+    Pass ``obs=Registry(...)`` to record per-layer counters (run / skip /
+    idle / outlier cycles, broadcasts, passes) under
+    ``<config name>/<layer name>/…`` and a wall-clock timer per simulated
+    network; the default records nothing.
+    """
+
+    def __init__(
+        self,
+        config: OLAccelConfig = None,
+        energy: EnergyModel = DEFAULT_ENERGY,
+        obs: Registry = None,
+    ):
         self.config = config or olaccel16()
         self.energy = energy
+        self.obs = obs if obs is not None else NULL_REGISTRY
 
     # -- derivation ---------------------------------------------------------
 
@@ -228,6 +241,16 @@ class OLAccelSimulator:
         derived = self._derive(layer)
         cycles, idle, outlier_cycles = self._layer_cycles(layer, derived)
         energy = self._layer_energy(layer, derived)
+        with self.obs.scope(layer.name):
+            self.obs.counter("cycles").add(cycles)
+            self.obs.counter("run_cycles").add(derived.run_cycles)
+            self.obs.counter("skip_cycles").add(derived.skip_cycles)
+            self.obs.counter("idle_cycles").add(idle)
+            self.obs.counter("outlier_cycles").add(outlier_cycles)
+            self.obs.counter("broadcasts").add(derived.broadcasts)
+            self.obs.counter("outlier_broadcasts").add(derived.outlier_broadcasts)
+            self.obs.counter("passes").add(derived.n_passes)
+            self.obs.counter("energy_pj").add(energy.total)
         return LayerStats(
             layer_name=layer.name,
             cycles=cycles,
@@ -248,8 +271,9 @@ class OLAccelSimulator:
     def simulate_network(self, network: NetworkWorkload) -> RunStats:
         """Simulate every layer; adds the final output's DRAM write."""
         stats = RunStats(accelerator=self.config.name, network=network.name)
-        for layer in network.layers:
-            stats.add(self.simulate_layer(layer))
+        with self.obs.timer(f"simulate/{network.name}"), self.obs.scope(self.config.name):
+            for layer in network.layers:
+                stats.add(self.simulate_layer(layer))
         if stats.layers:
             last = network.layers[-1]
             stats.layers[-1].energy.dram += self.energy.dram_energy(

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..arch.chunks import LANES
+from ..obs import NULL_REGISTRY, NULL_TRACER, Registry, Tracer
 from .tribuffer import TriBuffer
 
 __all__ = ["PassDescriptor", "PEGroupSim", "ClusterSim", "ClusterResult", "passes_from_levels"]
@@ -87,6 +88,9 @@ class PEGroupSim:
         self.busy_cycles = 0
         self.skip_cycles = 0
         self.run_cycles = 0
+        #: micro-op split of ``run_cycles`` (broadcast vs spill stall)
+        self.bcast_cycles = 0
+        self.stall_cycles = 0
         self.completed_passes = 0
 
     @property
@@ -110,6 +114,10 @@ class PEGroupSim:
             self.skip_cycles += 1
         else:
             self.run_cycles += 1
+            if op == _OP_BCAST:
+                self.bcast_cycles += 1
+            else:
+                self.stall_cycles += 1
         if not self._ops:
             self.completed_passes += 1
             return True
@@ -128,17 +136,37 @@ class ClusterResult:
     accumulation_stalls: int
     passes: int
     tri_buffer_conflict_free: bool
+    #: micro-op split of ``run_cycles`` (broadcast vs spill stall)
+    bcast_cycles: int = 0
+    stall_cycles: int = 0
+    #: deepest pass backlog observed in the cluster queue
+    max_queue_depth: int = 0
 
 
 class ClusterSim:
-    """A PE cluster: N group front ends + outlier group + accumulation."""
+    """A PE cluster: N group front ends + outlier group + accumulation.
 
-    def __init__(self, n_groups: int = 6, accumulation_bandwidth: int = 2):
+    Pass ``obs=Registry(...)`` to record micro-op counters (``ops/skip``,
+    ``ops/bcast``, ``ops/stall``), per-cycle queue-depth and
+    pending-result histograms, and tri-buffer occupancy; pass
+    ``tracer=Tracer(...)`` for timestamped per-pass completion events.
+    Both default to shared no-ops.
+    """
+
+    def __init__(
+        self,
+        n_groups: int = 6,
+        accumulation_bandwidth: int = 2,
+        obs: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         if n_groups < 1:
             raise ValueError("n_groups must be >= 1")
         self.n_groups = n_groups
         self.accumulation_bandwidth = accumulation_bandwidth
         self.groups = [PEGroupSim() for _ in range(n_groups)]
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def run(
         self,
@@ -153,7 +181,13 @@ class ClusterSim:
         stalls = 0
         outlier_left = int(outlier_broadcasts)
         outlier_done = 0
+        max_queue = len(queue)
         tri = TriBuffer()
+        obs = self.obs
+        tracer = self.tracer
+        queue_hist = obs.histogram("queue_depth")
+        pending_hist = obs.histogram("pending_results")
+        tri_hist = obs.histogram("tribuffer_active")
 
         cycle = 0
         while cycle < max_cycles:
@@ -161,6 +195,7 @@ class ClusterSim:
             if not work_left and pending_results == 0 and outlier_left == 0:
                 break
             cycle += 1
+            queue_hist.record(len(queue))
 
             # Dispatch: every idle group takes the next pending pass.
             for group in self.groups:
@@ -168,9 +203,10 @@ class ClusterSim:
                     group.start(queue.pop(0))
 
             # Step the front ends.
-            for group in self.groups:
+            for index, group in enumerate(self.groups):
                 if group.step():
                     pending_results += 1
+                    tracer.emit(cycle, "pass_done", group=index)
 
             # Outlier PE group: one broadcast per cycle.
             if outlier_left > 0:
@@ -178,8 +214,10 @@ class ClusterSim:
                 outlier_done += 1
 
             # Accumulation back end through the tri-buffer.
+            pending_hist.record(pending_results)
             if pending_results > 0:
-                tri.step()
+                normal, outlier = tri.step()
+                tri_hist.record(len(normal | outlier))
                 merged = min(pending_results, self.accumulation_bandwidth)
                 accumulated += merged
                 if pending_results > self.accumulation_bandwidth:
@@ -191,15 +229,32 @@ class ClusterSim:
         run = sum(g.run_cycles for g in self.groups)
         skip = sum(g.skip_cycles for g in self.groups)
         busy = sum(g.busy_cycles for g in self.groups)
+        bcast = sum(g.bcast_cycles for g in self.groups)
+        stall = sum(g.stall_cycles for g in self.groups)
+        idle = cycle * self.n_groups - busy
+        with obs.scope("ops"):
+            obs.counter("skip").add(skip)
+            obs.counter("bcast").add(bcast)
+            obs.counter("stall").add(stall)
+        obs.counter("run_cycles").add(run)
+        obs.counter("skip_cycles").add(skip)
+        obs.counter("idle_cycles").add(idle)
+        obs.counter("cycles").add(cycle)
+        obs.counter("passes").add(sum(g.completed_passes for g in self.groups))
+        obs.counter("outlier_broadcasts").add(outlier_done)
+        obs.counter("accumulation_stalls").add(stalls)
         return ClusterResult(
             cycles=cycle,
             run_cycles=run,
             skip_cycles=skip,
-            idle_cycles=cycle * self.n_groups - busy,
+            idle_cycles=idle,
             outlier_cycles=outlier_done,
             accumulation_stalls=stalls,
             passes=sum(g.completed_passes for g in self.groups),
             tri_buffer_conflict_free=tri.conflict_free,
+            bcast_cycles=bcast,
+            stall_cycles=stall,
+            max_queue_depth=max_queue,
         )
 
 

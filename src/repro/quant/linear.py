@@ -100,7 +100,12 @@ class LinearQuantizer:
         if max_abs <= 0:
             # Degenerate all-zero data: any positive step represents it.
             return cls(delta=1.0, bits=bits, signed=signed)
-        return cls(delta=max_abs / levels, bits=bits, signed=signed)
+        delta = max_abs / levels
+        if delta <= 0.0:
+            # max_abs is a subnormal so small the step underflows to zero;
+            # treat it like the all-zero case (error stays within delta/2).
+            return cls(delta=1.0, bits=bits, signed=signed)
+        return cls(delta=delta, bits=bits, signed=signed)
 
 
 def quantize_linear(x: np.ndarray, bits: int, signed: bool = True) -> np.ndarray:

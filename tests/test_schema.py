@@ -1,0 +1,174 @@
+"""Golden-schema tests for the JSON/CSV export and `repro profile`.
+
+Pins the documented schemas (docs/EXPERIMENTS.md): the run-stats
+document round-trips losslessly through JSON, the experiment envelope
+is versioned and self-describing, and the profile verb works end to end
+on the mini AlexNet workload.
+"""
+
+import json
+
+import pytest
+
+from repro.arch import EnergyBreakdown, STATS_SCHEMA_VERSION
+from repro.arch.stats import LayerStats, RunStats
+from repro.cli import main
+from repro.harness import (
+    CLOCK_MHZ,
+    EXPERIMENT_SCHEMA,
+    breakdown_experiment,
+    experiment_csv_rows,
+    experiment_envelope,
+    load_json,
+    profile_network,
+    run_stats_from_dict,
+    save_json,
+)
+from repro.olaccel import OLAccelSimulator
+from repro.harness.workloads import paper_workload
+
+
+def simulated_run() -> RunStats:
+    return OLAccelSimulator().simulate_network(paper_workload("alexnet"))
+
+
+class TestRunStatsRoundTrip:
+    def test_dict_json_dict_equality(self, tmp_path):
+        """RunStats -> dict -> JSON -> dict is lossless (golden schema)."""
+        run = simulated_run()
+        doc = run.to_dict()
+        path = save_json(doc, tmp_path / "run.json")
+        reread = load_json(path)
+        assert reread == json.loads(json.dumps(doc))
+        rebuilt = run_stats_from_dict(reread)
+        assert rebuilt.accelerator == run.accelerator
+        assert rebuilt.network == run.network
+        assert len(rebuilt.layers) == len(run.layers)
+        for a, b in zip(rebuilt.layers, run.layers):
+            assert a == b
+        assert rebuilt.to_dict() == doc
+
+    def test_schema_version_field_present(self):
+        doc = simulated_run().to_dict()
+        assert doc["schema_version"] == STATS_SCHEMA_VERSION
+        assert doc["kind"] == "run_stats"
+        assert doc["totals"]["cycles"] == pytest.approx(sum(l["cycles"] for l in doc["layers"]))
+
+    def test_unknown_schema_version_rejected(self):
+        doc = simulated_run().to_dict()
+        doc["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            RunStats.from_dict(doc)
+
+    def test_handwritten_layer_roundtrip(self):
+        layer = LayerStats(
+            "conv1", cycles=10.0, energy=EnergyBreakdown(1, 2, 3, 4),
+            macs=99, run_cycles=6.0, skip_cycles=1.0, idle_cycles=3.0,
+            extras={"n_passes": 2.0},
+        )
+        assert LayerStats.from_dict(layer.to_dict()) == layer
+
+
+class TestExperimentEnvelope:
+    def test_envelope_is_versioned_and_self_describing(self):
+        result = breakdown_experiment("alexnet")
+        env = experiment_envelope("fig11", result, "AlexNet breakdown")
+        assert env["schema"] == EXPERIMENT_SCHEMA
+        assert env["schema_version"] == 1
+        assert env["experiment"] == "fig11"
+        assert env["stats_schema_version"] == STATS_SCHEMA_VERSION
+        # Embedded RunStats became versioned run-stats documents.
+        for run_doc in env["result"]["runs"].values():
+            assert run_doc["kind"] == "run_stats"
+            run_stats_from_dict(run_doc)  # parse, don't just eyeball
+
+    def test_envelope_is_json_serializable(self):
+        env = experiment_envelope("fig11", breakdown_experiment("alexnet"))
+        json.dumps(env)
+
+    def test_csv_rows_only_for_breakdowns(self):
+        result = breakdown_experiment("alexnet")
+        rows = experiment_csv_rows(result)
+        assert len(rows) == sum(len(r.layers) for r in result.runs.values())
+        assert experiment_csv_rows(object()) == []
+
+
+class TestProfile:
+    def test_profile_alexnet_end_to_end(self):
+        result = profile_network("alexnet")
+        assert {r.accelerator for r in result.rows} == {
+            "eyeriss16", "eyeriss8", "zena16", "zena8", "olaccel16", "olaccel8",
+        }
+        for row in result.rows:
+            assert row.sim_cycles > 0
+            assert row.wall_ms >= 0.0
+            assert row.sim_ms == pytest.approx(row.sim_cycles / (CLOCK_MHZ * 1e3))
+        ol = next(r for r in result.rows if r.accelerator == "olaccel16")
+        assert 0.0 < ol.run_fraction < 1.0
+        assert ol.run_fraction + ol.skip_fraction + ol.idle_fraction == pytest.approx(1.0, abs=0.05)
+        assert result.event_trace["passes"] == 512
+        assert result.event_trace["bcast"] > 0
+        assert result.counters  # per-layer obs snapshot travelled along
+
+    def test_profile_to_dict_schema(self):
+        doc = profile_network("alexnet", event_sim_passes=64).to_dict()
+        assert doc["kind"] == "profile"
+        assert doc["schema_version"] == STATS_SCHEMA_VERSION
+        assert doc["clock_mhz"] == CLOCK_MHZ
+        json.dumps(doc)
+
+    def test_profile_format_mentions_trace(self):
+        text = profile_network("alexnet", event_sim_passes=32).format()
+        assert "micro-trace" in text and "olaccel16" in text
+
+
+class TestCliJsonCsv:
+    def test_run_json_single_experiment(self, tmp_path, capsys):
+        path = tmp_path / "out.json"
+        assert main(["run", "tab1", "--json", str(path)]) == 0
+        env = load_json(path)
+        assert env["schema"] == EXPERIMENT_SCHEMA and env["experiment"] == "tab1"
+
+    def test_run_json_multiple_experiments_keyed_by_id(self, tmp_path):
+        path = tmp_path / "out.json"
+        assert main(["run", "tab1", "fig17", "--json", str(path)]) == 0
+        data = load_json(path)
+        assert set(data) == {"tab1", "fig17"}
+        assert data["fig17"]["schema"] == EXPERIMENT_SCHEMA
+
+    def test_run_csv_breakdown(self, tmp_path):
+        path = tmp_path / "out.csv"
+        assert main(["run", "fig11", "--csv", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("accelerator,")
+        assert len(lines) > 6  # 6 accelerators x 5 conv layers + header
+
+    def test_run_csv_without_rows_fails(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        assert main(["run", "tab1", "--csv", str(path)]) == 1
+        assert not path.exists()
+        assert "no per-layer rows" in capsys.readouterr().err
+
+    def test_run_unknown_id_lists_available(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown" in err and "fig11" in err and "tab1" in err
+
+    def test_compare_json(self, tmp_path):
+        path = tmp_path / "cmp.json"
+        assert main(["compare", "alexnet", "--json", str(path)]) == 0
+        env = load_json(path)
+        assert env["experiment"] == "compare"
+
+    def test_profile_cli_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main(["profile", "alexnet", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Profile" in out and "wall ms" in out
+        env = load_json(path)
+        assert env["experiment"] == "profile"
+        assert env["result"]["kind"] == "profile"
+
+    def test_profile_unknown_network(self, capsys):
+        assert main(["profile", "lenet"]) == 2
+        assert "unknown network" in capsys.readouterr().err

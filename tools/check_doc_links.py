@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in the repo's docs resolve.
+
+Scans every tracked ``*.md`` file for ``[text](target)`` links, skips
+external (``http(s)://``, ``mailto:``) and pure-anchor targets, and
+checks that each remaining target exists relative to the linking file.
+Exits non-zero listing every broken link, so CI catches docs rotting
+when files move.
+
+Usage::
+
+    python tools/check_doc_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links; images share the syntax bar a leading '!'
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+_SKIP_DIRS = {".git", ".hypothesis", "__pycache__", ".pytest_cache", "results", "node_modules"}
+#: files quoting *other* repositories verbatim — their links point there
+_SKIP_FILES = {"SNIPPETS.md", "PAPERS.md"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if path.name in _SKIP_FILES:
+            continue
+        if not any(part in _SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_file(path: Path, root: Path):
+    """Yield (target, reason) for each broken link in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        clean = target.split("#", 1)[0].split("?", 1)[0]
+        if not clean:
+            continue
+        resolved = (root / clean.lstrip("/")) if clean.startswith("/") else (path.parent / clean)
+        if not resolved.exists():
+            yield target, f"{resolved.resolve()} does not exist"
+
+
+def main(argv=None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        for target, reason in check_file(path, root):
+            broken.append(f"{path.relative_to(root)}: ({target}) -> {reason}")
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} markdown file(s):")
+        for line in broken:
+            print(f"  {line}")
+        return 1
+    print(f"ok: {checked} markdown file(s), no broken relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
