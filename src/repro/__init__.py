@@ -12,6 +12,10 @@ Subpackages:
 - :mod:`repro.olaccel` — the OLAccel simulator (Sec. III), including a
   bit-exact functional datapath model;
 - :mod:`repro.baselines` — Eyeriss and ZeNA comparison models (Sec. IV);
+- :mod:`repro.faults` — fault injection, chunk-integrity validation and
+  finite-width accumulator models (docs/FAULTS.md);
+- :mod:`repro.errors` — the shared exception taxonomy (every class also
+  subclasses :class:`ValueError` for backward compatibility);
 - :mod:`repro.harness` — experiment drivers regenerating every table and
   figure in the paper's evaluation (Sec. V).
 
@@ -23,4 +27,4 @@ Quick start::
 
 __version__ = "1.0.0"
 
-__all__ = ["nn", "quant", "arch", "olaccel", "baselines", "harness"]
+__all__ = ["nn", "quant", "arch", "olaccel", "baselines", "faults", "errors", "harness"]

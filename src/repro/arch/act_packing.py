@@ -20,6 +20,7 @@ from typing import List
 
 import numpy as np
 
+from ..errors import ConfigError, QuantRangeError
 from .chunks import LANES, OutlierActivation
 
 __all__ = ["PackedActivations", "pack_activations", "unpack_activations", "ACT_NORMAL_MAX"]
@@ -84,9 +85,9 @@ def pack_activations(levels: np.ndarray, normal_max: int = ACT_NORMAL_MAX) -> Pa
     """
     levels = np.asarray(levels, dtype=np.int64)
     if levels.ndim != 3:
-        raise ValueError(f"expected (C, H, W) levels, got shape {levels.shape}")
+        raise ConfigError(f"expected (C, H, W) levels, got shape {levels.shape}")
     if levels.size and levels.min() < 0:
-        raise ValueError("activation levels must be non-negative")
+        raise QuantRangeError("activation levels must be non-negative")
 
     c, h, w = levels.shape
     n_blocks = -(-c // LANES)

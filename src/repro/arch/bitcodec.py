@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..errors import CapacityError, ChunkIntegrityError, QuantRangeError
 from .chunks import LANES, WEIGHT_CHUNK_BITS, WeightChunk
 
 __all__ = ["encode_chunk", "decode_chunk", "encode_table", "decode_table", "MAX_SPILL_CHUNKS"]
@@ -43,7 +44,7 @@ _OL_MSB_SHIFT = _OL_IDX_SHIFT + 4
 
 def _nibble(magnitude: int, negative: bool) -> int:
     if not 0 <= magnitude <= 7:
-        raise ValueError(f"lane magnitude out of range: {magnitude}")
+        raise QuantRangeError(f"lane magnitude out of range: {magnitude}")
     return (8 if negative else 0) | magnitude
 
 
@@ -54,7 +55,9 @@ def _lane_signs(chunk: WeightChunk, spill: Optional[WeightChunk]) -> List[bool]:
         signs[chunk.ol_idx] = True
     if chunk.has_multi_outlier:
         if spill is None:
-            raise ValueError("encoding a multi-outlier chunk requires its spill chunk")
+            raise ChunkIntegrityError(
+                "encoding a multi-outlier chunk requires its spill chunk", field="ol_ptr"
+            )
         for lane, msb in enumerate(spill.lanes):
             if msb < 0:
                 signs[lane] = True
@@ -72,7 +75,7 @@ def encode_chunk(chunk: WeightChunk, spill: Optional[WeightChunk] = None) -> int
         for lane, value in enumerate(chunk.lanes):
             magnitude = abs(value)
             if magnitude > 15:
-                raise ValueError(f"spill MSB magnitude out of range: {value}")
+                raise QuantRangeError(f"spill MSB magnitude out of range: {value}")
             word |= magnitude << (4 * lane)
     else:
         signs = _lane_signs(chunk, spill)
@@ -80,14 +83,14 @@ def encode_chunk(chunk: WeightChunk, spill: Optional[WeightChunk] = None) -> int
             word |= _nibble(abs(value), signs[lane]) << (4 * lane)
     if chunk.ol_ptr is not None:
         if not 0 <= chunk.ol_ptr < MAX_SPILL_CHUNKS:
-            raise ValueError(f"ol_ptr out of the 8-bit field: {chunk.ol_ptr}")
+            raise QuantRangeError(f"ol_ptr out of the 8-bit field: {chunk.ol_ptr}")
         word |= (chunk.ol_ptr + 1) << _OL_PTR_SHIFT
     if not 0 <= chunk.ol_idx < LANES:
-        raise ValueError(f"ol_idx out of range: {chunk.ol_idx}")
+        raise QuantRangeError(f"ol_idx out of range: {chunk.ol_idx}")
     word |= chunk.ol_idx << _OL_IDX_SHIFT
     msb_magnitude = abs(chunk.ol_msb)
     if msb_magnitude > 15:
-        raise ValueError(f"ol_msb out of the 4-bit field: {chunk.ol_msb}")
+        raise QuantRangeError(f"ol_msb out of the 4-bit field: {chunk.ol_msb}")
     word |= msb_magnitude << _OL_MSB_SHIFT
     assert word < (1 << WEIGHT_CHUNK_BITS)
     return word
@@ -104,7 +107,7 @@ def decode_chunk(word: int, is_spill: bool = False) -> WeightChunk:
     :func:`decode_table` re-applies the signs recorded in the base chunk.
     """
     if not 0 <= word < (1 << WEIGHT_CHUNK_BITS):
-        raise ValueError("word does not fit the 80-bit chunk format")
+        raise ChunkIntegrityError("word does not fit the 80-bit chunk format")
     raw = _raw_lanes(word)
     if is_spill:
         return WeightChunk(lanes=tuple(raw), is_spill=True)
@@ -124,7 +127,7 @@ def decode_chunk(word: int, is_spill: bool = False) -> WeightChunk:
 def encode_table(base_chunks: List[WeightChunk], spill_chunks: List[WeightChunk]) -> Tuple[List[int], List[int]]:
     """Serialize a packed weight table into base + spill word lists."""
     if len(spill_chunks) > MAX_SPILL_CHUNKS:
-        raise ValueError(
+        raise CapacityError(
             f"{len(spill_chunks)} spill chunks exceed the 8-bit OLptr space; "
             "split the table across buffer tiles"
         )
@@ -135,15 +138,36 @@ def encode_table(base_chunks: List[WeightChunk], spill_chunks: List[WeightChunk]
     return base_words, [encode_chunk(c) for c in spill_chunks]
 
 
-def decode_table(base_words: List[int], spill_words: List[int]) -> Tuple[List[WeightChunk], List[WeightChunk]]:
-    """Inverse of :func:`encode_table` with spill-lane signs re-applied."""
+def decode_table(
+    base_words: List[int],
+    spill_words: List[int],
+    strict: bool = True,
+) -> Tuple[List[WeightChunk], List[WeightChunk]]:
+    """Inverse of :func:`encode_table` with spill-lane signs re-applied.
+
+    A dangling ``ol_ptr`` (pointing past the spill table — impossible in
+    a healthy encoding, the signature of a corrupted word) raises
+    :class:`ChunkIntegrityError` under ``strict``; with ``strict=False``
+    the chunk is decoded as-is so a downstream validator
+    (:func:`repro.faults.validate_packed`) can detect, count and repair
+    it under a recovery policy.
+    """
     spills_unsigned = [decode_chunk(w, is_spill=True) for w in spill_words]
     bases: List[WeightChunk] = []
     signed_spills: List[WeightChunk] = list(spills_unsigned)
-    for word in base_words:
+    for index, word in enumerate(base_words):
         chunk = decode_chunk(word)
         bases.append(chunk)
         if chunk.has_multi_outlier:
+            if not 0 <= chunk.ol_ptr < len(spills_unsigned):
+                if strict:
+                    raise ChunkIntegrityError(
+                        f"ol_ptr {chunk.ol_ptr} dangles past the "
+                        f"{len(spills_unsigned)}-entry spill table",
+                        chunk_index=index,
+                        field="ol_ptr",
+                    )
+                continue
             raw = _raw_lanes(word)
             spill = spills_unsigned[chunk.ol_ptr]
             signed = tuple(

@@ -26,6 +26,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import ChunkIntegrityError, QuantRangeError
+
 __all__ = [
     "LANES",
     "WEIGHT_CHUNK_BITS",
@@ -49,7 +51,7 @@ WEIGHT_CHUNK_BITS = LANES * 4 + 8 + 4 + 4
 def encode_weight_nibble(level: int) -> int:
     """Sign-magnitude encode a weight level in [-7, 7] into 4 bits."""
     if not -7 <= level <= 7:
-        raise ValueError(f"nibble level out of range: {level}")
+        raise QuantRangeError(f"nibble level out of range: {level}")
     sign = 1 if level < 0 else 0
     return (sign << 3) | abs(level)
 
@@ -57,7 +59,7 @@ def encode_weight_nibble(level: int) -> int:
 def decode_weight_nibble(nibble: int) -> int:
     """Inverse of :func:`encode_weight_nibble`."""
     if not 0 <= nibble <= 15:
-        raise ValueError(f"nibble out of range: {nibble}")
+        raise QuantRangeError(f"nibble out of range: {nibble}")
     magnitude = nibble & 0b0111
     return -magnitude if nibble & 0b1000 else magnitude
 
@@ -72,7 +74,7 @@ def split_outlier_weight(level: int) -> Tuple[int, int]:
     outlier MAC multiplies, pre-shifted by 3 bits.
     """
     if not -127 <= level <= 127:
-        raise ValueError(f"outlier level out of range: {level}")
+        raise QuantRangeError(f"outlier level out of range: {level}")
     sign = -1 if level < 0 else 1
     magnitude = abs(level)
     msb = magnitude >> 3
@@ -105,7 +107,9 @@ class WeightChunk:
 
     def __post_init__(self):
         if len(self.lanes) != LANES:
-            raise ValueError(f"weight chunk needs {LANES} lanes, got {len(self.lanes)}")
+            raise ChunkIntegrityError(
+                f"weight chunk needs {LANES} lanes, got {len(self.lanes)}", field="lanes"
+            )
 
     @property
     def has_single_outlier(self) -> bool:
@@ -129,7 +133,9 @@ class ActivationChunk:
 
     def __post_init__(self):
         if len(self.values) != LANES:
-            raise ValueError(f"activation chunk needs {LANES} values, got {len(self.values)}")
+            raise ChunkIntegrityError(
+                f"activation chunk needs {LANES} values, got {len(self.values)}", field="values"
+            )
 
     @property
     def nonzero_count(self) -> int:

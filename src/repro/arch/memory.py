@@ -23,12 +23,24 @@ need multiple weight tiles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, TYPE_CHECKING
 
+from ..errors import CapacityError, ConfigError
+from ..obs import NULL_REGISTRY, Registry
 from .chunks import LANES, WEIGHT_CHUNK_BITS
 from .workload import LayerWorkload, NetworkWorkload
 
-__all__ = ["Footprint", "layer_footprint", "check_network", "OLAccelTiling", "olaccel_tiling"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> arch)
+    from ..faults.plan import FaultPlan
+
+__all__ = [
+    "Footprint",
+    "layer_footprint",
+    "check_network",
+    "OLAccelTiling",
+    "olaccel_tiling",
+    "transfer_words",
+]
 
 
 @dataclass(frozen=True)
@@ -84,7 +96,7 @@ def layer_footprint(layer: LayerWorkload, style: str, outlier_ratio: float = 0.0
             output_bits=layer.output_count * 4,
             weight_working_set_bits=(layer.weight_count / LANES) * WEIGHT_CHUNK_BITS,
         )
-    raise ValueError(f"unknown storage style {style!r}")
+    raise ConfigError(f"unknown storage style {style!r}")
 
 
 def check_network(
@@ -94,7 +106,7 @@ def check_network(
 ) -> Dict[str, Footprint]:
     """Per-layer footprints keyed by layer name (use ``.fits`` to test)."""
     if capacity_bits <= 0:
-        raise ValueError("capacity must be positive")
+        raise CapacityError("capacity must be positive")
     return {layer.name: layer_footprint(layer, style) for layer in network.layers}
 
 
@@ -132,7 +144,7 @@ def olaccel_tiling(
     convolution (Fig. 10).
     """
     if weight_buffer_chunks < 1 or act_buffer_chunks < 1:
-        raise ValueError("buffer sizes must be positive")
+        raise CapacityError("buffer sizes must be positive")
     in_chunks = -(-int(layer.weight_count / layer.out_channels / (layer.kernel**2)) // LANES)
     reduction_chunks = layer.kernel * layer.kernel * max(in_chunks, 1)
     weight_tiles = -(-reduction_chunks // weight_buffer_chunks)
@@ -143,3 +155,24 @@ def olaccel_tiling(
         psum_passes=weight_tiles,
         act_chunks_per_pixel=max(in_chunks, 1),
     )
+
+
+def transfer_words(
+    words: List[int],
+    width_bits: int = WEIGHT_CHUNK_BITS,
+    plan: Optional["FaultPlan"] = None,
+    obs: Registry = NULL_REGISTRY,
+) -> List[int]:
+    """Move packed words across the DRAM/SRAM boundary.
+
+    Healthy memories return the words unchanged; a
+    :class:`~repro.faults.plan.FaultPlan` with the ``memory`` surface
+    enabled strikes words in flight (modelling bus/array upsets) and
+    counts each strike on ``faults/injected``. This is the single choke
+    point the fault-injection datapath routes every buffer fill through,
+    so a transfer-level fault model needs no changes anywhere else.
+    """
+    if plan is None:
+        return list(words)
+    struck, _ = plan.corrupt_words(words, width_bits, surface="memory", obs=obs)
+    return struck

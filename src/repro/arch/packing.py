@@ -20,6 +20,7 @@ from typing import List
 
 import numpy as np
 
+from ..errors import ConfigError, QuantRangeError
 from .chunks import LANES, WEIGHT_CHUNK_BITS, WeightChunk, combine_outlier_weight, split_outlier_weight
 
 __all__ = ["PackedWeights", "pack_weights", "normal_max_level", "outlier_max_level"]
@@ -94,9 +95,9 @@ def pack_weights(levels: np.ndarray) -> PackedWeights:
     """
     levels = np.asarray(levels, dtype=np.int64)
     if levels.ndim != 2:
-        raise ValueError(f"expected a 2-D level matrix, got shape {levels.shape}")
+        raise ConfigError(f"expected a 2-D level matrix, got shape {levels.shape}")
     if np.abs(levels).max(initial=0) > outlier_max_level:
-        raise ValueError("levels exceed the 8-bit outlier grid")
+        raise QuantRangeError("levels exceed the 8-bit outlier grid")
 
     out_channels, reduction = levels.shape
     n_groups = -(-out_channels // LANES)

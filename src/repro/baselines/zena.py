@@ -18,11 +18,15 @@ the skip logic.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
 
 from ..arch.energy import DEFAULT_ENERGY, EnergyBreakdown, EnergyModel
 from ..arch.stats import LayerStats, RunStats
 from ..arch.workload import LayerWorkload, NetworkWorkload
 from ..obs import NULL_REGISTRY, Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.accumulator import AccumulatorModel
 
 __all__ = ["ZenaConfig", "ZenaSimulator", "zena16", "zena8"]
 
@@ -59,6 +63,12 @@ class ZenaSimulator:
     ``obs`` hooks mirror the OLAccel simulator's: per-layer cycle and
     skipped-MAC counters under ``<config name>/<layer name>/…`` plus a
     wall-clock timer per network; disabled by default.
+
+    ``acc`` optionally swaps the config's 32-bit accumulator for an
+    explicit :class:`~repro.faults.accumulator.AccumulatorModel`: its
+    width drives the partial-sum energy terms, and layers whose
+    reduction depth could overflow it are counted under
+    ``acc/overflow_risk_layers``.
     """
 
     def __init__(
@@ -66,14 +76,34 @@ class ZenaSimulator:
         config: ZenaConfig = None,
         energy: EnergyModel = DEFAULT_ENERGY,
         obs: Registry = None,
+        acc: Optional["AccumulatorModel"] = None,
     ):
         self.config = config or zena16()
         self.energy = energy
         self.obs = obs if obs is not None else NULL_REGISTRY
+        self.acc = acc
+
+    def _acc_bits(self) -> int:
+        return self.acc.width_bits if self.acc is not None else self.config.acc_bits
+
+    def _note_overflow_risk(self, layer: LayerWorkload) -> None:
+        """Count layers whose worst-case reduction exceeds the accumulator."""
+        if self.acc is None:
+            return
+        from ..faults.accumulator import required_accumulator_bits
+
+        cfg = self.config
+        reduction = max(1, round(layer.weight_count / layer.out_channels))
+        required = required_accumulator_bits(
+            reduction, (1 << cfg.bits) - 1, (1 << (cfg.bits - 1)) - 1
+        )
+        if required > self.acc.width_bits:
+            self.obs.counter("acc/overflow_risk_layers").add(1)
 
     def simulate_layer(self, layer: LayerWorkload) -> LayerStats:
         cfg = self.config
         em = self.energy
+        acc_bits = self._acc_bits()
 
         effective_macs = layer.macs * layer.weight_density * layer.act_density
         cycles = effective_macs / cfg.n_pes / cfg.skip_efficiency
@@ -94,13 +124,14 @@ class ZenaSimulator:
         reuse = max(1.0, layer.kernel / layer.stride)
         energy.buffer = em.sram_energy(cfg.buffer_bytes * 8, in_bits * reuse + out_bits + 2.0 * weight_bits)
 
-        per_op_local = 2 * cfg.bits + _WEIGHT_INDEX_BITS + 2 * cfg.acc_bits * _PSUM_SPAD_FRACTION
+        per_op_local = 2 * cfg.bits + _WEIGHT_INDEX_BITS + 2 * acc_bits * _PSUM_SPAD_FRACTION
         energy.local = em.sram_energy(_SPAD_BITS, effective_macs * per_op_local)
 
-        energy.logic = effective_macs * em.mac_energy(cfg.bits, cfg.bits, cfg.acc_bits)
+        energy.logic = effective_macs * em.mac_energy(cfg.bits, cfg.bits, acc_bits)
         skipped = layer.macs - effective_macs
         energy.logic += skipped * 0.1 * em.params.ctrl_pj_per_op  # skip bookkeeping
 
+        self._note_overflow_risk(layer)
         with self.obs.scope(layer.name):
             self.obs.counter("cycles").add(cycles)
             self.obs.counter("run_cycles").add(cycles)

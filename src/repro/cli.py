@@ -12,12 +12,16 @@ Usage::
     python -m repro ablations            # design-choice ablations
     python -m repro compare resnet101    # breakdown for any zoo network
     python -m repro profile alexnet      # wall-clock + simulated cycles
+    python -m repro faults alexnet       # fault-rate + accumulator sweep
     python -m repro export alexnet --out results/   # CSV + JSON breakdown
 
-``run``/``compare`` accept ``--json``/``--csv`` paths; ``profile``
-accepts ``--json``. The JSON layout is the versioned experiment
-envelope documented in docs/EXPERIMENTS.md. Unknown experiment ids and
-networks exit with status 2 and print the available choices.
+``run``/``compare`` accept ``--json``/``--csv`` paths; ``profile`` and
+``faults`` accept ``--json``. The JSON layout is the versioned
+experiment envelope documented in docs/EXPERIMENTS.md. Unknown
+experiment ids and networks exit with status 2 and print the available
+choices. ``run``/``compare``/``profile``/``faults`` take a global
+``--seed`` that overrides every driver's built-in default
+(docs/FAULTS.md explains the precedence).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from .harness import (
     breakdown_experiment,
     experiment_csv_rows,
     experiment_envelope,
+    fault_sweep,
     fig1_weight_distributions,
     fig2_accuracy_vs_ratio,
     fig3_accuracy_networks,
@@ -43,10 +48,14 @@ from .harness import (
     run_all_ablations,
     save_csv,
     save_json,
+    set_global_seed,
     sweep_group_size,
     table1_configurations,
 )
+from .harness.faults import DEFAULT_RATES, DEFAULT_WIDTHS
 from .harness.workloads import MEMORY_TABLE
+from .faults.plan import FAULT_MODELS
+from .faults.validate import RECOVERY_POLICIES
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -158,6 +167,26 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.network not in MEMORY_TABLE:
+        return _unknown_network(args.network)
+    result = fault_sweep(
+        args.network,
+        rates=tuple(args.rates),
+        widths=tuple(args.widths),
+        policy=args.policy,
+        model=args.model,
+        ratio=args.ratio,
+    )
+    print(result.format())
+    if args.json:
+        envelope = experiment_envelope(
+            "faults", result, f"fault-rate + accumulator-width sweep for {args.network}"
+        )
+        print(f"wrote {save_json(envelope, args.json)}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .harness.serialize import run_stats_rows
 
@@ -182,6 +211,13 @@ def _add_output_flags(parser: argparse.ArgumentParser, csv: bool = True) -> None
         parser.add_argument("--csv", metavar="PATH", help="also write per-layer rows as CSV")
 
 
+def _add_seed_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="override every stochastic driver's default RNG seed",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run experiments by id (or 'all')")
     run.add_argument("experiments", nargs="+", help="experiment ids, e.g. fig11 tab1, or 'all'")
     _add_output_flags(run)
+    _add_seed_flag(run)
     run.set_defaults(func=_cmd_run)
 
     abl = sub.add_parser("ablations", help="design-choice ablations")
@@ -204,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
     cmp_.add_argument("--ratio", type=float, default=0.03, help="outlier ratio (default 0.03)")
     _add_output_flags(cmp_)
+    _add_seed_flag(cmp_)
     cmp_.set_defaults(func=_cmd_compare)
 
     prof = sub.add_parser("profile", help="wall-clock + simulated-cycle profile")
@@ -214,7 +252,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-sim micro-trace sample size (0 disables; default 512)",
     )
     _add_output_flags(prof, csv=False)
+    _add_seed_flag(prof)
     prof.set_defaults(func=_cmd_profile)
+
+    faults = sub.add_parser("faults", help="fault-rate + accumulator-width sweep")
+    faults.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
+    faults.add_argument(
+        "--rates", type=float, nargs="+", default=list(DEFAULT_RATES), metavar="R",
+        help=f"fault rates to sweep (default {' '.join(str(r) for r in DEFAULT_RATES)})",
+    )
+    faults.add_argument(
+        "--widths", type=int, nargs="+", default=list(DEFAULT_WIDTHS), metavar="W",
+        help=f"accumulator widths to sweep (default {' '.join(str(w) for w in DEFAULT_WIDTHS)})",
+    )
+    faults.add_argument(
+        "--policy", default="degrade", choices=RECOVERY_POLICIES,
+        help="recovery policy for detected violations (default degrade)",
+    )
+    faults.add_argument(
+        "--model", default="bitflip", choices=FAULT_MODELS,
+        help="fault model (default bitflip)",
+    )
+    faults.add_argument("--ratio", type=float, default=0.03, help="outlier ratio (default 0.03)")
+    _add_output_flags(faults, csv=False)
+    _add_seed_flag(faults)
+    faults.set_defaults(func=_cmd_faults)
 
     export = sub.add_parser("export", help="save a breakdown as CSV + JSON")
     export.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
@@ -226,4 +288,5 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
+    set_global_seed(getattr(args, "seed", None))
     return args.func(args)

@@ -1,0 +1,100 @@
+"""The repository-wide error taxonomy.
+
+Every structural failure the simulators can detect derives from
+:class:`ReproError`, so callers can catch "anything this repo diagnosed"
+with one clause, or narrow to a family:
+
+- :class:`ConfigError` — a simulator/quantizer was constructed with
+  parameters that cannot describe real hardware (unknown accelerator
+  kind, non-positive bit width, malformed fault plan);
+- :class:`QuantRangeError` — a value does not fit the integer grid it
+  was asked to occupy (a weight level beyond the 8-bit outlier grid, a
+  negative post-ReLU activation, a nibble outside [-7, 7]);
+- :class:`CapacityError` — a hardware resource overflowed its sized
+  capacity (spill chunks beyond the 8-bit ``OLptr`` space, a
+  non-positive buffer budget);
+- :class:`ChunkIntegrityError` — an on-chip chunk violates a structural
+  invariant (dangling or duplicate ``OLptr``, out-of-range ``OLidx``,
+  corrupt lane nibble, a swarm-buffer entry pointing outside its
+  tensor). Carries the chunk coordinates so a fault report can name the
+  exact 80-bit word.
+
+Every concrete class also subclasses :class:`ValueError`: the seed
+codebase raised bare ``ValueError`` for all of these conditions, and
+existing ``except ValueError`` call sites (and tests) must keep working
+unchanged. New code should catch the taxonomy classes instead.
+
+The fault-injection layer (:mod:`repro.faults`) raises
+:class:`ChunkIntegrityError` under its ``raise`` recovery policy and
+*counts* the same detections under ``degrade``/``skip`` — see
+docs/FAULTS.md for the policy and counter semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "QuantRangeError",
+    "CapacityError",
+    "ChunkIntegrityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error this repository diagnoses itself."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A component was configured with parameters it cannot honour."""
+
+
+class QuantRangeError(ReproError, ValueError):
+    """A value does not fit the integer grid it must occupy."""
+
+
+class CapacityError(ReproError, ValueError):
+    """A sized hardware resource (buffer, pointer space) overflowed."""
+
+
+class ChunkIntegrityError(ReproError, ValueError):
+    """An on-chip chunk violates a structural invariant.
+
+    ``group``/``reduction`` locate a weight chunk in its packed table
+    (output-channel group x flattened reduction index); ``chunk_index``
+    is the flat buffer index when only that is known; ``field`` names
+    the offending field (``ol_ptr``, ``ol_idx``, ``ol_msb``, ``lanes``,
+    ``swarm``). All are optional — whatever is known is rendered into
+    the message so logs name the exact chunk.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        group: Optional[int] = None,
+        reduction: Optional[int] = None,
+        chunk_index: Optional[int] = None,
+        field: Optional[str] = None,
+        is_spill: bool = False,
+    ):
+        self.group = group
+        self.reduction = reduction
+        self.chunk_index = chunk_index
+        self.field = field
+        self.is_spill = is_spill
+        where = []
+        if group is not None:
+            where.append(f"group={group}")
+        if reduction is not None:
+            where.append(f"reduction={reduction}")
+        if chunk_index is not None:
+            where.append(f"chunk={chunk_index}")
+        if field is not None:
+            where.append(f"field={field}")
+        if is_spill:
+            where.append("spill")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        super().__init__(message + suffix)

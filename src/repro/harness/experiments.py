@@ -45,6 +45,7 @@ from ..quant import (
 from .pretrained import default_dataset, trained_mini
 from .report import format_series, format_table
 from .scaling import NpuSpec, ScalingModel
+from .seeding import resolve_seed
 from .workloads import memory_bytes, paper_workload
 
 __all__ = [
@@ -523,10 +524,10 @@ def fig17_multi_outlier(
     ratios: Sequence[float] = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05),
     lane_counts: Sequence[int] = (16, 32, 64),
     monte_carlo_trials: int = 20000,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> Fig17Result:
     """Analytic multi-outlier probability, with a Monte-Carlo check."""
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed, default=0))
     result = Fig17Result(ratios=tuple(ratios))
     for lanes in lane_counts:
         result.series[lanes] = [multi_outlier_probability(r, lanes) for r in ratios]
@@ -608,10 +609,10 @@ def fig19_chunk_cycles(
     network: str = "alexnet",
     ratio: float = 0.03,
     samples: int = 50000,
-    seed: int = 1,
+    seed: Optional[int] = None,
 ) -> Fig19Result:
     """Distribution of per-pass PE-group cycles for each conv layer."""
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(resolve_seed(seed, default=1))
     workload = paper_workload(network, ratio=ratio)
     result = Fig19Result(network=network)
     for layer in workload.layers:

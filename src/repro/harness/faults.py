@@ -1,0 +1,211 @@
+"""Fault-rate and accumulator-width sweeps (the ``repro faults`` verb).
+
+For one paper network the driver builds a synthetic conv case whose
+sparsity and outlier statistics match the network's first non-input
+conv layer (from :func:`repro.harness.workloads.paper_workload`), then:
+
+1. **rate sweep** — runs the fault-injected datapath
+   (:func:`repro.faults.faulty_olaccel_conv2d`) at each fault rate under
+   the chosen recovery policy, reporting injected / detected /
+   undetected / masked counters (which reconcile exactly:
+   ``injected == detected + undetected``) and output corruption vs the
+   clean golden reference;
+2. **accumulator-width sweep** — runs the clean datapath through
+   :class:`~repro.faults.accumulator.AccumulatorModel` at each width,
+   reporting overflow counts and error vs the infinite-width reference,
+   alongside the guaranteed-overflow-avoidance bound
+   :func:`~repro.faults.accumulator.required_accumulator_bits` for the
+   case.
+
+Results carry ``format()`` for the terminal and serialize through the
+standard ``repro.experiment/v1`` envelope (docs/EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults import AccumulatorModel, FaultPlan, faulty_olaccel_conv2d, required_accumulator_bits
+from ..faults.plan import FAULT_MODELS
+from ..faults.validate import RECOVERY_POLICIES
+from ..obs import Registry
+from .report import format_table
+from .seeding import resolve_seed
+from .workloads import paper_workload
+
+__all__ = ["DEFAULT_RATES", "DEFAULT_WIDTHS", "FaultSweepResult", "fault_sweep"]
+
+#: Default per-word strike probabilities swept by ``repro faults``.
+DEFAULT_RATES = (0.0, 1e-4, 1e-3, 1e-2)
+#: Default accumulator widths swept (paper's 24-bit in the middle).
+DEFAULT_WIDTHS = (16, 20, 24, 32)
+
+#: Synthetic case geometry — big enough for spill chunks and swarm
+#: entries to appear at 3% outliers, small enough to sweep in seconds.
+_CASE = dict(in_c=32, out_c=32, kernel=3, size=8, batch=2)
+
+
+@dataclass
+class FaultSweepResult:
+    """Outcome of one ``repro faults`` sweep."""
+
+    network: str
+    policy: str
+    model: str
+    seed: int
+    case: Dict[str, float]
+    required_bits: int
+    rate_rows: List[Dict[str, float]] = field(default_factory=list)
+    width_rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            f"fault sweep — {self.network} "
+            f"(policy={self.policy}, model={self.model}, seed={self.seed})",
+            f"case: {self.case['in_c']:.0f}x{self.case['size']:.0f}x{self.case['size']:.0f} "
+            f"-> {self.case['out_c']:.0f} ch, k={self.case['kernel']:.0f}, "
+            f"act outliers {self.case['act_outlier_ratio']:.1%}, "
+            f"weight outliers {self.case['weight_outlier_ratio']:.1%}",
+            "",
+            format_table(
+                ["rate", "injected", "detected", "undetected", "masked", "mismatch", "max|err|"],
+                [
+                    [
+                        f"{row['rate']:g}",
+                        f"{row['injected']:.0f}",
+                        f"{row['detected']:.0f}",
+                        f"{row['undetected']:.0f}",
+                        f"{row['masked']:.0f}",
+                        f"{row['mismatch_fraction']:.1%}",
+                        f"{row['max_abs_error']:.0f}",
+                    ]
+                    for row in self.rate_rows
+                ],
+            ),
+            "",
+            f"accumulator sweep (guaranteed-avoidance bound: {self.required_bits} bits)",
+            format_table(
+                ["width", "mode", "overflows", "mismatch", "max|err|"],
+                [
+                    [
+                        f"{row['width_bits']:.0f}",
+                        row["mode"],
+                        f"{row['overflows']:.0f}",
+                        f"{row['mismatch_fraction']:.1%}",
+                        f"{row['max_abs_error']:.0f}",
+                    ]
+                    for row in self.width_rows
+                ],
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def _synthetic_case(network: str, ratio: float, seed: int):
+    """Integer conv operands mirroring the network's first sparse layer."""
+    workload = paper_workload(network, ratio=ratio)
+    layer = next((l for l in workload.layers if not l.is_first), workload.layers[0])
+    rng = np.random.default_rng([seed, 0xFA17])
+
+    c_in, c_out = _CASE["in_c"], _CASE["out_c"]
+    k, size, batch = _CASE["kernel"], _CASE["size"], _CASE["batch"]
+
+    acts = rng.integers(1, 16, size=(batch, c_in, size, size))
+    acts[rng.random(acts.shape) >= layer.act_density] = 0
+    nonzero = acts > 0
+    act_out = nonzero & (rng.random(acts.shape) < layer.act_outlier_ratio)
+    acts[act_out] = rng.integers(16, 256, size=int(act_out.sum()))
+
+    weights = rng.integers(-7, 8, size=(c_out, c_in, k, k))
+    w_out = rng.random(weights.shape) < layer.weight_outlier_ratio
+    magnitudes = rng.integers(8, 128, size=int(w_out.sum()))
+    weights[w_out] = magnitudes * rng.choice([-1, 1], size=magnitudes.shape)
+
+    stats = dict(
+        _CASE,
+        act_density=float(layer.act_density),
+        act_outlier_ratio=float(layer.act_outlier_ratio),
+        weight_outlier_ratio=float(layer.weight_outlier_ratio),
+    )
+    return acts, weights, stats
+
+
+def fault_sweep(
+    network: str,
+    rates: Sequence[float] = DEFAULT_RATES,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    policy: str = "degrade",
+    model: str = "bitflip",
+    ratio: float = 0.03,
+    seed: Optional[int] = None,
+) -> FaultSweepResult:
+    """Sweep fault rates and accumulator widths on one network's statistics."""
+    if policy not in RECOVERY_POLICIES:
+        raise ValueError(f"unknown recovery policy {policy!r}; one of {RECOVERY_POLICIES}")
+    if model not in FAULT_MODELS:
+        raise ValueError(f"unknown fault model {model!r}; one of {FAULT_MODELS}")
+    seed = resolve_seed(seed, default=0)
+    acts, weights, stats = _synthetic_case(network, ratio, seed)
+
+    rate_rows: List[Dict[str, float]] = []
+    for rate in rates:
+        run = faulty_olaccel_conv2d(
+            acts,
+            weights,
+            pad=1,
+            plan=FaultPlan(rate=float(rate), seed=seed, model=model),
+            policy=policy,
+        )
+        rate_rows.append(
+            {
+                "rate": float(rate),
+                "injected": run.injected,
+                "detected": run.detected,
+                "undetected": run.undetected,
+                "masked": run.masked,
+                "skipped": run.skipped,
+                "mismatch_fraction": run.mismatch_fraction,
+                "max_abs_error": run.max_abs_error,
+                "bit_exact": run.bit_exact,
+            }
+        )
+
+    act_max = int(acts.max(initial=1))
+    weight_max = int(np.abs(weights).max(initial=1))
+    reduction = weights.shape[1] * weights.shape[2] * weights.shape[3]
+    required = required_accumulator_bits(reduction, act_max, weight_max)
+
+    width_rows: List[Dict[str, float]] = []
+    for width in widths:
+        obs = Registry()
+        run = faulty_olaccel_conv2d(
+            acts,
+            weights,
+            pad=1,
+            acc=AccumulatorModel(width_bits=int(width), mode="saturate"),
+            obs=obs,
+        )
+        width_rows.append(
+            {
+                "width_bits": int(width),
+                "mode": "saturate",
+                "overflows": run.acc_overflows,
+                "mismatch_fraction": run.mismatch_fraction,
+                "max_abs_error": run.max_abs_error,
+                "bit_exact": run.bit_exact,
+            }
+        )
+
+    return FaultSweepResult(
+        network=network,
+        policy=policy,
+        model=model,
+        seed=seed,
+        case=stats,
+        required_bits=required,
+        rate_rows=rate_rows,
+        width_rows=width_rows,
+    )

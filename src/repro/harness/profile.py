@@ -18,7 +18,7 @@ pressure, exercising the tracing hooks end-to-end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..arch.stats import STATS_SCHEMA_VERSION, RunStats
 from ..obs import Registry
 from ..olaccel import ClusterSim, passes_from_levels
 from .report import format_table
+from .seeding import resolve_seed
 from .workloads import paper_workload
 
 __all__ = ["ProfileRow", "ProfileResult", "profile_network", "CLOCK_MHZ"]
@@ -133,12 +134,18 @@ def profile_network(
     network: str,
     ratio: float = 0.03,
     event_sim_passes: int = 512,
-    seed: int = 0,
+    seed: Optional[int] = None,
 ) -> ProfileResult:
-    """Profile every accelerator on ``network``; see module docstring."""
+    """Profile every accelerator on ``network``; see module docstring.
+
+    ``seed`` drives the synthesized event-sim micro-trace; it defaults
+    to the global ``--seed`` (when set) and then to the historical 0.
+    """
     # Imported here (not at module top) to avoid a circular import with
     # experiments.py, which re-exports both modules via the package init.
     from .experiments import ALL_ACCELERATORS, _simulator
+
+    seed = resolve_seed(seed, default=0)
 
     workload = paper_workload(network, ratio=ratio)
     result = ProfileResult(network=network, ratio=ratio)

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..arch.chunks import LANES
+from ..errors import ChunkIntegrityError, ConfigError
 from ..obs import NULL_REGISTRY, NULL_TRACER, Registry, Tracer
 from .tribuffer import TriBuffer
 
@@ -48,7 +49,7 @@ class PassDescriptor:
 
     def __post_init__(self):
         if len(self.activations) != LANES or len(self.spill) != LANES:
-            raise ValueError(f"pass descriptors are {LANES} lanes wide")
+            raise ChunkIntegrityError(f"pass descriptors are {LANES} lanes wide", field="lanes")
 
 
 #: Micro-operations a PE group front end executes, one per cycle.
@@ -161,7 +162,7 @@ class ClusterSim:
         tracer: Optional[Tracer] = None,
     ):
         if n_groups < 1:
-            raise ValueError("n_groups must be >= 1")
+            raise ConfigError("n_groups must be >= 1")
         self.n_groups = n_groups
         self.accumulation_bandwidth = accumulation_bandwidth
         self.groups = [PEGroupSim() for _ in range(n_groups)]
@@ -269,12 +270,12 @@ def passes_from_levels(
     """
     act_levels = np.asarray(act_levels, dtype=np.int64)
     if act_levels.ndim != 2 or act_levels.shape[1] != LANES:
-        raise ValueError(f"expected (n, {LANES}) activation levels, got {act_levels.shape}")
+        raise ConfigError(f"expected (n, {LANES}) activation levels, got {act_levels.shape}")
     if spill_flags is None:
         spill_flags = np.zeros(act_levels.shape, dtype=bool)
     spill_flags = np.asarray(spill_flags, dtype=bool)
     if spill_flags.shape != act_levels.shape:
-        raise ValueError("spill_flags must match act_levels shape")
+        raise ConfigError("spill_flags must match act_levels shape")
     return [
         PassDescriptor(tuple(int(v) for v in row), tuple(bool(s) for s in srow))
         for row, srow in zip(act_levels, spill_flags)

@@ -18,12 +18,18 @@ stochastic cycle model used on full-size networks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
 from ..arch.chunks import LANES
 from ..arch.packing import PackedWeights, normal_max_level, pack_weights
+from ..errors import ConfigError, QuantRangeError
 from ..nn.functional import conv_out_size, im2col
+from ..obs import NULL_REGISTRY, Registry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> olaccel)
+    from ..faults.accumulator import AccumulatorModel
 
 __all__ = [
     "split_weight_levels",
@@ -62,7 +68,7 @@ def split_activation_levels(levels: np.ndarray, normal_max: int = 15) -> tuple:
     """
     levels = np.asarray(levels, dtype=np.int64)
     if np.any(levels < 0):
-        raise ValueError("activation levels must be non-negative (post-ReLU)")
+        raise QuantRangeError("activation levels must be non-negative (post-ReLU)")
     is_outlier = levels > normal_max
     normal = np.where(is_outlier, 0, levels)
     outlier = np.where(is_outlier, levels, 0)
@@ -79,6 +85,8 @@ class FunctionalResult:
     cycles: int  # exact normal-PE-group cycles (single group, serial)
     pass_cycles: np.ndarray  # per (pixel, out-group, in-chunk) pass costs
     outlier_broadcasts: int  # exact outlier-PE-group broadcast count
+    #: values clipped/wrapped by the accumulator model (0 without one)
+    acc_overflows: int = 0
 
     @property
     def saturated(self) -> bool:
@@ -91,8 +99,15 @@ def reference_conv2d_int(
     weight_levels: np.ndarray,
     stride: int = 1,
     pad: int = 0,
+    acc: Optional["AccumulatorModel"] = None,
+    obs: Registry = NULL_REGISTRY,
 ) -> np.ndarray:
-    """Plain integer convolution — the golden reference."""
+    """Plain integer convolution — the golden reference.
+
+    ``acc`` optionally reduces the ideal partial sums through a
+    finite-width accumulator (:mod:`repro.faults.accumulator`); without
+    one the accumulator is infinite, the seed behaviour.
+    """
     n, c, h, w = act_levels.shape
     out_c = weight_levels.shape[0]
     out_h = conv_out_size(h, weight_levels.shape[2], stride, pad)
@@ -100,6 +115,8 @@ def reference_conv2d_int(
     cols = im2col(act_levels.astype(np.int64), weight_levels.shape[2], weight_levels.shape[3], stride, pad)
     w_mat = weight_levels.reshape(out_c, -1).astype(np.int64)
     y = cols @ w_mat.T
+    if acc is not None:
+        y = acc.apply(y, obs=obs)
     return y.reshape(n, out_h, out_w, out_c).transpose(0, 3, 1, 2)
 
 
@@ -110,6 +127,8 @@ def olaccel_conv2d(
     pad: int = 0,
     act_normal_max: int = 15,
     packed: PackedWeights = None,
+    acc: Optional["AccumulatorModel"] = None,
+    obs: Registry = NULL_REGISTRY,
 ) -> FunctionalResult:
     """Run a convolution through the OLAccel integer datapath.
 
@@ -117,14 +136,18 @@ def olaccel_conv2d(
     ``weight_levels`` is (out_c, in_c, kh, kw) signed levels within the
     8-bit outlier grid. ``packed`` may supply a pre-packed weight table
     (otherwise the weights are packed here) — the two-cycle spill chunks it
-    contains drive the exact cycle count.
+    contains drive the exact cycle count. ``acc`` optionally models a
+    finite-width accumulator on the combined partial sums: ``wrap`` mode
+    is bit-exact to per-MAC wraparound (modular addition commutes),
+    ``saturate`` models clamping on write-back, and overflow events are
+    counted on ``obs`` under ``acc/overflow``.
     """
     act_levels = np.asarray(act_levels, dtype=np.int64)
     weight_levels = np.asarray(weight_levels, dtype=np.int64)
     n, c, h, w = act_levels.shape
     out_c, in_c, k_h, k_w = weight_levels.shape
     if c != in_c:
-        raise ValueError(f"activation channels {c} != weight input channels {in_c}")
+        raise ConfigError(f"activation channels {c} != weight input channels {in_c}")
 
     w_mat = weight_levels.reshape(out_c, -1)
     if packed is None:
@@ -172,11 +195,18 @@ def olaccel_conv2d(
     cycles = int(pass_cycles.sum())
     outlier_broadcasts = int((cols_out != 0).sum()) * packed.n_groups
 
+    combined = normal_flat + outlier_flat
+    acc_overflows = 0
+    if acc is not None:
+        acc_overflows = acc.overflows(combined)
+        combined = acc.apply(combined, obs=obs)
+
     return FunctionalResult(
-        psum=to_nchw(normal_flat + outlier_flat),
+        psum=to_nchw(combined),
         normal_psum=to_nchw(normal_flat),
         outlier_psum=to_nchw(outlier_flat),
         cycles=cycles,
         pass_cycles=pass_cycles,
         outlier_broadcasts=outlier_broadcasts,
+        acc_overflows=acc_overflows,
     )

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConfigError, QuantRangeError
 from .linear import LinearQuantizer, signed_levels, unsigned_levels
 
 __all__ = [
@@ -53,9 +54,14 @@ class OutlierQuantConfig:
 
     def __post_init__(self):
         if not 0.0 <= self.ratio < 1.0:
-            raise ValueError(f"outlier ratio must be in [0, 1), got {self.ratio}")
+            raise ConfigError(f"outlier ratio must be in [0, 1), got {self.ratio}")
+        if self.normal_bits < 1 or self.outlier_bits < 1:
+            raise ConfigError(
+                f"bit widths must be positive, got normal_bits={self.normal_bits}, "
+                f"outlier_bits={self.outlier_bits}"
+            )
         if self.outlier_bits < self.normal_bits:
-            raise ValueError("outlier grid cannot be narrower than the normal grid")
+            raise ConfigError("outlier grid cannot be narrower than the normal grid")
 
 
 @dataclass
@@ -158,6 +164,6 @@ def quantize_activations(
     only performs a compare. ``ratio`` is recorded for bookkeeping.
     """
     if np.any(np.asarray(activations) < 0):
-        raise ValueError("activation quantization expects non-negative (post-ReLU) data")
+        raise QuantRangeError("activation quantization expects non-negative (post-ReLU) data")
     config = OutlierQuantConfig(ratio=ratio, normal_bits=normal_bits, outlier_bits=outlier_bits, signed=False)
     return _quantize(activations, threshold, config)

@@ -1,0 +1,418 @@
+"""Tests for the fault-injection subsystem (repro.faults + repro.errors).
+
+Covers the acceptance properties of docs/FAULTS.md:
+
+- rate-0 plans and full-width accumulators are provably bit-exact no-ops;
+- the obs counters reconcile exactly: ``injected == detected +
+  undetected`` and ``masked <= detected`` under every recovery policy;
+- a corrupted ``OLptr`` raises a :class:`ChunkIntegrityError` naming the
+  chunk coordinates under ``raise`` and completes the layer (counted as
+  masked) under ``degrade``;
+- the error taxonomy stays ``ValueError``-compatible at every migrated
+  call site.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arch.bitcodec import decode_table, encode_table
+from repro.arch.chunks import LANES, WeightChunk
+from repro.arch.memory import transfer_words
+from repro.arch.packing import PackedWeights, pack_weights
+from repro.errors import (
+    CapacityError,
+    ChunkIntegrityError,
+    ConfigError,
+    QuantRangeError,
+    ReproError,
+)
+from repro.faults import (
+    AccumulatorModel,
+    FaultPlan,
+    faulty_olaccel_conv2d,
+    required_accumulator_bits,
+    validate_packed,
+    validate_swarm,
+)
+from repro.obs import Registry
+from repro.olaccel.functional import olaccel_conv2d, reference_conv2d_int
+from repro.quant import OutlierQuantConfig
+
+
+def random_conv_case(seed: int, outlier: float = 0.05):
+    rng = np.random.default_rng(seed)
+    acts = rng.integers(0, 16, size=(2, 8, 6, 6))
+    hot = rng.random(acts.shape) < outlier
+    acts[hot] = rng.integers(16, 4096, size=int(hot.sum()))
+    weights = rng.integers(-7, 8, size=(12, 8, 3, 3))
+    hot_w = rng.random(weights.shape) < outlier
+    weights[hot_w] = rng.integers(8, 128, size=int(hot_w.sum())) * rng.choice(
+        [-1, 1], size=int(hot_w.sum())
+    )
+    return acts, weights
+
+
+# ---------------------------------------------------------------- taxonomy
+
+
+def test_taxonomy_is_valueerror_compatible():
+    for exc in (ConfigError, QuantRangeError, CapacityError, ChunkIntegrityError):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, ValueError)
+
+
+def test_chunk_integrity_error_renders_coordinates():
+    err = ChunkIntegrityError("bad chunk", group=2, reduction=7, chunk_index=25, field="ol_ptr")
+    message = str(err)
+    assert "group=2" in message and "chunk=25" in message and "ol_ptr" in message
+
+
+def test_migrated_call_sites_still_raise_valueerror():
+    with pytest.raises(ValueError):
+        pack_weights(np.array([[1000]]))  # beyond the 8-bit outlier grid
+    with pytest.raises(ValueError):
+        WeightChunk(lanes=(0,) * 3)  # wrong lane count
+    with pytest.raises(ValueError):
+        OutlierQuantConfig(ratio=1.5)
+
+
+def test_outlier_quant_config_rejects_nonpositive_bits():
+    with pytest.raises(ConfigError):
+        OutlierQuantConfig(normal_bits=0)
+    with pytest.raises(ConfigError):
+        OutlierQuantConfig(normal_bits=-4, outlier_bits=8)
+
+
+# ---------------------------------------------------------------- FaultPlan
+
+
+def test_fault_plan_validates_configuration():
+    with pytest.raises(ConfigError):
+        FaultPlan(rate=1.5)
+    with pytest.raises(ConfigError):
+        FaultPlan(model="meteor")
+    with pytest.raises(ConfigError):
+        FaultPlan(targets=("weight_chunks", "bogus"))
+    with pytest.raises(ConfigError):
+        FaultPlan(burst_length=0)
+
+
+def test_fault_plan_is_deterministic_per_surface():
+    words = list(range(1, 200))
+    plan = FaultPlan(rate=0.2, seed=42)
+    first, n_first = plan.corrupt_words(words, 80)
+    second, n_second = plan.corrupt_words(words, 80)
+    assert first == second and n_first == n_second
+    other_surface, _ = plan.corrupt_words(words, 80, surface="memory")
+    assert other_surface != first  # independent streams per surface
+
+
+def test_rate_zero_plan_is_noop():
+    words = [0xDEADBEEF, 2**79 - 1]
+    plan = FaultPlan(rate=0.0)
+    obs = Registry()
+    out, injected = plan.corrupt_words(words, 80, obs=obs)
+    assert out == words and injected == 0
+    assert obs.snapshot() == {}
+
+
+def test_injected_counts_only_changed_values():
+    # stuck0 on all-zero words can never change anything.
+    plan = FaultPlan(rate=1.0, model="stuck0", seed=1)
+    obs = Registry()
+    out, injected = plan.corrupt_words([0, 0, 0, 0], 80, obs=obs)
+    assert out == [0, 0, 0, 0]
+    assert injected == 0
+    assert "faults/injected" not in obs.snapshot()
+
+
+# ---------------------------------------------------------------- validators
+
+
+def _spilled_packed() -> PackedWeights:
+    """A 16x2 weight matrix whose first column has two outlier lanes."""
+    levels = np.zeros((LANES, 2), dtype=np.int64)
+    levels[0, 0] = 100
+    levels[5, 0] = -90
+    levels[3, 1] = 2
+    packed = pack_weights(levels)
+    assert len(packed.spill_chunks) == 1
+    return packed
+
+
+def test_validate_packed_clean_table_is_identity():
+    packed = _spilled_packed()
+    obs = Registry()
+    assert validate_packed(packed, policy="degrade", obs=obs) is packed
+    assert obs.snapshot() == {}
+
+
+def test_dangling_olptr_raise_names_coordinates():
+    packed = _spilled_packed()
+    corrupt = [replace_ptr(packed.base_chunks[0], 9)] + packed.base_chunks[1:]
+    broken = PackedWeights(corrupt, packed.spill_chunks, packed.n_groups, packed.reduction, packed.out_channels)
+    with pytest.raises(ChunkIntegrityError) as excinfo:
+        validate_packed(broken, policy="raise")
+    message = str(excinfo.value)
+    assert "ol_ptr" in message and "group=0" in message and "chunk=0" in message
+
+
+def replace_ptr(chunk: WeightChunk, ptr: int) -> WeightChunk:
+    return WeightChunk(lanes=chunk.lanes, ol_ptr=ptr)
+
+
+def test_dangling_olptr_degrade_masks_and_completes_layer():
+    acts, weights = random_conv_case(7)
+    packed = pack_weights(weights.reshape(weights.shape[0], -1))
+    spilled = [i for i, c in enumerate(packed.base_chunks) if c.has_multi_outlier]
+    if not spilled:  # force one
+        weights[0, 0, 0, 0], weights[1, 0, 0, 0] = 100, -100
+        packed = pack_weights(weights.reshape(weights.shape[0], -1))
+        spilled = [i for i, c in enumerate(packed.base_chunks) if c.has_multi_outlier]
+    index = spilled[0]
+    base = list(packed.base_chunks)
+    base[index] = replace_ptr(base[index], len(packed.spill_chunks) + 3)
+    broken = PackedWeights(base, packed.spill_chunks, packed.n_groups, packed.reduction, packed.out_channels)
+
+    obs = Registry()
+    repaired = validate_packed(broken, policy="degrade", obs=obs)
+    counters = obs.snapshot()
+    assert counters["faults/detected"] == 1
+    assert counters["faults/masked"] == 1
+    # the repaired table unpacks and the layer completes
+    levels = repaired.unpack().reshape(weights.shape)
+    result = olaccel_conv2d(acts, levels, pad=1)
+    assert result.psum.shape == reference_conv2d_int(acts, weights, pad=1).shape
+
+
+def test_duplicate_olptr_detected():
+    packed = _spilled_packed()
+    base = list(packed.base_chunks)
+    base[1] = replace_ptr(base[1], base[0].ol_ptr)  # second claimant
+    broken = PackedWeights(base, packed.spill_chunks, packed.n_groups, packed.reduction, packed.out_channels)
+    obs = Registry()
+    validate_packed(broken, policy="degrade", obs=obs)
+    assert obs.snapshot()["faults/detected"] == 1
+
+
+def test_validate_packed_skip_zeroes_chunk():
+    packed = _spilled_packed()
+    base = [replace_ptr(packed.base_chunks[0], 9)] + packed.base_chunks[1:]
+    broken = PackedWeights(base, packed.spill_chunks, packed.n_groups, packed.reduction, packed.out_channels)
+    obs = Registry()
+    repaired = validate_packed(broken, policy="skip", obs=obs)
+    assert repaired.base_chunks[0].lanes == (0,) * LANES
+    counters = obs.snapshot()
+    assert counters["faults/skipped"] == 1 and counters["faults/masked"] == 1
+
+
+def test_validate_swarm_policies():
+    from repro.arch.chunks import OutlierActivation
+
+    good = OutlierActivation(value=100, w_idx=1, h_idx=1, c_idx=1)
+    off_tensor = OutlierActivation(value=100, w_idx=99, h_idx=1, c_idx=1)
+    below_threshold = OutlierActivation(value=3, w_idx=0, h_idx=0, c_idx=0)
+    shape = (16, 4, 4)
+
+    obs = Registry()
+    kept = validate_swarm([good, off_tensor, below_threshold], shape, policy="degrade", obs=obs)
+    assert kept == [good]
+    counters = obs.snapshot()
+    assert counters["faults/detected"] == 2 and counters["faults/masked"] == 2
+
+    with pytest.raises(ChunkIntegrityError):
+        validate_swarm([off_tensor], shape, policy="raise")
+
+
+# ---------------------------------------------------------------- bitcodec + memory
+
+
+def test_decode_table_strict_flags_dangling_ptr():
+    packed = _spilled_packed()
+    base_words, spill_words = encode_table(packed.base_chunks, packed.spill_chunks)
+    with pytest.raises(ChunkIntegrityError):
+        decode_table(base_words, [])  # spill table lost in transfer
+    bases, _ = decode_table(base_words, [], strict=False)
+    assert bases[0].has_multi_outlier  # decoded as-is for the validator
+
+
+def test_transfer_words_identity_without_plan():
+    words = [1, 2, 3]
+    assert transfer_words(words) == words
+
+
+def test_transfer_words_strikes_with_plan():
+    words = list(range(100))
+    obs = Registry()
+    out = transfer_words(words, plan=FaultPlan(rate=1.0, seed=0), obs=obs)
+    assert out != words
+    assert obs.snapshot()["faults/injected/memory"] == obs.snapshot()["faults/injected"] > 0
+
+
+# ---------------------------------------------------------------- accumulator
+
+
+def test_accumulator_validates_configuration():
+    with pytest.raises(ConfigError):
+        AccumulatorModel(width_bits=1)
+    with pytest.raises(ConfigError):
+        AccumulatorModel(mode="melt")
+
+
+def test_accumulator_wrap_matches_per_mac_wraparound():
+    # modular reduction commutes with addition: wrapping the final sum
+    # equals wrapping after every MAC.
+    rng = np.random.default_rng(3)
+    terms = rng.integers(-500, 500, size=200)
+    acc = AccumulatorModel(width_bits=10, mode="wrap")
+    span, half = 1 << 10, 1 << 9
+    stepwise = 0
+    for t in terms:
+        stepwise = ((stepwise + int(t) + half) % span) - half
+    assert acc.apply(np.array([terms.sum()]))[0] == stepwise
+
+
+def test_accumulator_saturate_clamps_and_counts():
+    acc = AccumulatorModel(width_bits=8, mode="saturate")
+    obs = Registry()
+    out = acc.apply(np.array([1000, -1000, 5]), obs=obs)
+    assert list(out) == [127, -127, 5]
+    assert obs.snapshot()["acc/overflow"] == 2
+
+
+def test_accumulator_infinite_and_wide_are_noops():
+    psums = np.array([2**40, -(2**40)])
+    for acc in (AccumulatorModel(mode="infinite"), AccumulatorModel(width_bits=64, mode="wrap")):
+        assert np.array_equal(acc.apply(psums), psums)
+        assert acc.overflows(psums) == 0
+
+
+def test_required_accumulator_bits_guarantees_avoidance():
+    acts, weights = random_conv_case(11)
+    reduction = weights.shape[1] * weights.shape[2] * weights.shape[3]
+    bits = required_accumulator_bits(reduction, int(acts.max()), int(np.abs(weights).max()))
+    acc = AccumulatorModel(width_bits=bits, mode="saturate")
+    reference = reference_conv2d_int(acts, weights, pad=1)
+    assert np.array_equal(reference_conv2d_int(acts, weights, pad=1, acc=acc), reference)
+
+
+# ---------------------------------------------------------------- datapath properties
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_rate_zero_datapath_is_bit_exact(seed):
+    acts, weights = random_conv_case(seed)
+    run = faulty_olaccel_conv2d(acts, weights, pad=1, plan=FaultPlan(rate=0.0))
+    assert run.bit_exact
+    assert run.injected == run.detected == run.masked == 0
+    assert np.array_equal(run.psum, reference_conv2d_int(acts, weights, pad=1))
+
+
+@pytest.mark.parametrize("policy", ["degrade", "skip"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_counters_reconcile_under_recovery_policies(policy, seed):
+    acts, weights = random_conv_case(seed)
+    run = faulty_olaccel_conv2d(
+        acts, weights, pad=1, plan=FaultPlan(rate=0.03, seed=seed), policy=policy
+    )
+    assert run.injected == run.detected + run.undetected
+    assert 0 <= run.masked <= run.detected
+    counters = run.obs.snapshot()
+    assert counters.get("faults/injected", 0) == run.injected
+    if run.undetected:
+        assert counters["faults/undetected"] == run.undetected
+
+
+def test_faulty_datapath_raise_policy_surfaces_integrity_error():
+    acts, weights = random_conv_case(0)
+    # High rate so a structural (detectable) violation is all but certain;
+    # scan seeds until one produces a detection to keep the test stable.
+    for seed in range(20):
+        plan = FaultPlan(rate=0.3, seed=seed, targets=("weight_chunks",))
+        try:
+            run = faulty_olaccel_conv2d(acts, weights, pad=1, plan=plan, policy="degrade")
+        except ChunkIntegrityError:  # pragma: no cover - degrade never raises
+            pytest.fail("degrade policy must not raise")
+        if run.detected:
+            with pytest.raises(ChunkIntegrityError):
+                faulty_olaccel_conv2d(acts, weights, pad=1, plan=plan, policy="raise")
+            return
+    pytest.skip("no detectable fault in 20 seeds (rate too low for this case)")
+
+
+def test_faulty_datapath_same_plan_is_reproducible():
+    acts, weights = random_conv_case(5)
+    plan = FaultPlan(rate=0.02, seed=99)
+    a = faulty_olaccel_conv2d(acts, weights, pad=1, plan=plan)
+    b = faulty_olaccel_conv2d(acts, weights, pad=1, plan=plan)
+    assert np.array_equal(a.psum, b.psum)
+    assert a.injected == b.injected and a.detected == b.detected
+
+
+# ---------------------------------------------------------------- sweep + CLI
+
+
+def test_fault_sweep_envelope_and_reconciliation(tmp_path):
+    from repro.cli import main
+
+    out = tmp_path / "faults.json"
+    code = main(
+        [
+            "faults",
+            "alexnet",
+            "--rates", "0", "0.005",
+            "--widths", "24",
+            "--seed", "3",
+            "--json", str(out),
+        ]
+    )
+    assert code == 0
+    envelope = json.loads(out.read_text())
+    assert envelope["schema"] == "repro.experiment/v1"
+    assert envelope["experiment"] == "faults"
+    rows = envelope["result"]["rate_rows"]
+    assert rows[0]["rate"] == 0 and rows[0]["bit_exact"] is True
+    for row in rows:
+        assert row["injected"] == row["detected"] + row["undetected"]
+        assert row["masked"] <= row["detected"]
+    assert envelope["result"]["width_rows"][0]["width_bits"] == 24
+
+
+def test_cli_rejects_unknown_network_for_faults(capsys):
+    from repro.cli import main
+
+    assert main(["faults", "nosuchnet"]) == 2
+    assert "unknown network" in capsys.readouterr().err
+
+
+def test_seeding_precedence():
+    from repro.harness import resolve_seed, set_global_seed
+
+    try:
+        assert resolve_seed(None, default=4) == 4
+        set_global_seed(17)
+        assert resolve_seed(None, default=4) == 17
+        assert resolve_seed(2, default=4) == 2
+    finally:
+        set_global_seed(None)
+
+
+def test_baseline_simulators_accept_accumulator_model():
+    from repro.baselines import EyerissSimulator, ZenaSimulator
+    from repro.harness.workloads import paper_workload
+
+    workload = paper_workload("alexnet")
+    acc = AccumulatorModel(width_bits=16, mode="saturate")
+    for sim_cls in (EyerissSimulator, ZenaSimulator):
+        obs = Registry()
+        narrow = sim_cls(obs=obs, acc=acc).simulate_network(workload)
+        wide = sim_cls().simulate_network(workload)
+        # a narrower accumulator strictly lowers psum-movement energy...
+        assert narrow.total_energy.total < wide.total_energy.total
+        # ...and every layer's reduction is flagged as overflow risk at 16 bits
+        risky = [v for k, v in obs.snapshot().items() if k.endswith("acc/overflow_risk_layers")]
+        assert risky and risky[0] == len(workload.layers)

@@ -9,12 +9,17 @@ checks three independent implementations against each other:
 3. the chunk tables serialized through the literal 80-bit words
    (`encode_table`/`decode_table`) and re-used by the datapath.
 
-Run:  python tools/fuzz_datapath.py [iterations] [seed]
+`check_case` is importable — `tests/test_fuzz_smoke.py` runs a small
+fixed-seed sample of the same property on every test run; this tool
+remains the high-volume standalone entry point (also run in CI):
+
+    python tools/fuzz_datapath.py [iterations] [seed]
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Optional
 
 import numpy as np
 
@@ -45,27 +50,33 @@ def random_case(rng: np.random.Generator):
     return acts, weights, stride, pad
 
 
+def check_case(acts, weights, stride: int, pad: int) -> Optional[str]:
+    """Run one case through all three implementations; None when they agree."""
+    reference = reference_conv2d_int(acts, weights, stride, pad)
+
+    result = olaccel_conv2d(acts, weights, stride, pad, act_normal_max=15)
+    if not np.array_equal(result.psum, reference):
+        return f"datapath mismatch: shape={acts.shape} w={weights.shape} s={stride} p={pad}"
+
+    packed = pack_weights(weights.reshape(weights.shape[0], -1))
+    if len(packed.spill_chunks) <= 254:
+        base_words, spill_words = encode_table(packed.base_chunks, packed.spill_chunks)
+        packed.base_chunks, packed.spill_chunks = decode_table(base_words, spill_words)
+    via_words = olaccel_conv2d(acts, weights, stride, pad, packed=packed)
+    if not np.array_equal(via_words.psum, reference):
+        return f"bit-codec mismatch: shape={acts.shape} w={weights.shape}"
+    return None
+
+
 def run(iterations: int, seed: int) -> int:
     rng = np.random.default_rng(seed)
     failures = 0
     for i in range(iterations):
         acts, weights, stride, pad = random_case(rng)
-        reference = reference_conv2d_int(acts, weights, stride, pad)
-
-        result = olaccel_conv2d(acts, weights, stride, pad, act_normal_max=15)
-        if not np.array_equal(result.psum, reference):
+        error = check_case(acts, weights, stride, pad)
+        if error:
             failures += 1
-            print(f"[{i}] datapath mismatch: shape={acts.shape} w={weights.shape} s={stride} p={pad}")
-            continue
-
-        packed = pack_weights(weights.reshape(weights.shape[0], -1))
-        if len(packed.spill_chunks) <= 254:
-            base_words, spill_words = encode_table(packed.base_chunks, packed.spill_chunks)
-            packed.base_chunks, packed.spill_chunks = decode_table(base_words, spill_words)
-        via_words = olaccel_conv2d(acts, weights, stride, pad, packed=packed)
-        if not np.array_equal(via_words.psum, reference):
-            failures += 1
-            print(f"[{i}] bit-codec mismatch: shape={acts.shape} w={weights.shape}")
+            print(f"[{i}] {error}")
 
     print(f"{iterations} cases, {failures} failures")
     return 1 if failures else 0
