@@ -75,13 +75,37 @@ class PackedActivations:
         quads = self.dense.reshape(-1, 4)
         return float((~quads.any(axis=1)).mean())
 
+    def _coord_table(self) -> np.ndarray:
+        """(n_outliers, 4) int64 rows of (c, h, w, value) — the FIFO as an
+        array, for the vectorized unpack scatter.
 
-def pack_activations(levels: np.ndarray, normal_max: int = ACT_NORMAL_MAX) -> PackedActivations:
+        The fast packer seeds the cache; a stale entry count (e.g. after
+        ``dataclasses.replace`` swapped the outlier list, which builds a
+        fresh instance without the cache) triggers a rebuild from
+        ``outliers``.
+        """
+        table = self.__dict__.get("_outlier_table")
+        if table is None or table.shape[0] != len(self.outliers):
+            table = np.array(
+                [(e.c_idx, e.h_idx, e.w_idx, e.value) for e in self.outliers], dtype=np.int64
+            ).reshape(len(self.outliers), 4)
+            self.__dict__["_outlier_table"] = table
+        return table
+
+
+def pack_activations(
+    levels: np.ndarray, normal_max: int = ACT_NORMAL_MAX, slow_reference: bool = False
+) -> PackedActivations:
     """Split a (C, H, W) non-negative level tensor into dense + outliers.
 
     Channels are padded to a multiple of 16 with zeros. Values above
     ``normal_max`` go to the outlier FIFO and leave a zero in the dense
     stream (they are "stored only in the swarm buffer", Sec. III-A).
+
+    The default path gathers the outlier coordinates/values with one
+    ``argwhere`` instead of a per-entry scan; ``slow_reference=True`` keeps
+    the original loop. Both produce identical FIFO order (C-order over
+    (channel, row, col)).
     """
     levels = np.asarray(levels, dtype=np.int64)
     if levels.ndim != 3:
@@ -96,27 +120,49 @@ def pack_activations(levels: np.ndarray, normal_max: int = ACT_NORMAL_MAX) -> Pa
 
     outliers: List[OutlierActivation] = []
     is_outlier = padded > normal_max
-    for channel, row, col in zip(*np.nonzero(is_outlier)):
-        outliers.append(
-            OutlierActivation(
-                value=int(padded[channel, row, col]),
-                w_idx=int(col),
-                h_idx=int(row),
-                c_idx=int(channel),
+    if slow_reference:
+        for channel, row, col in zip(*np.nonzero(is_outlier)):
+            outliers.append(
+                OutlierActivation(
+                    value=int(padded[channel, row, col]),
+                    w_idx=int(col),
+                    h_idx=int(row),
+                    c_idx=int(channel),
+                )
             )
-        )
+        table = None
+    else:
+        coords = np.argwhere(is_outlier)
+        values = padded[is_outlier]
+        outliers = [
+            OutlierActivation(value=value, w_idx=col, h_idx=row, c_idx=channel)
+            for (channel, row, col), value in zip(coords.tolist(), values.tolist())
+        ]
+        table = np.column_stack([coords, values]).astype(np.int64).reshape(len(outliers), 4)
     dense = np.where(is_outlier, 0, padded)
     # chunk order: (h, w, channel block) — the traversal of Fig. 6.
     chunks = dense.reshape(n_blocks, LANES, h, w).transpose(2, 3, 0, 1).reshape(-1, LANES)
-    return PackedActivations(dense=np.ascontiguousarray(chunks), outliers=outliers, shape=(c, h, w))
+    packed = PackedActivations(dense=np.ascontiguousarray(chunks), outliers=outliers, shape=(c, h, w))
+    if table is not None:
+        packed.__dict__["_outlier_table"] = table
+    return packed
 
 
-def unpack_activations(packed: PackedActivations) -> np.ndarray:
-    """Reassemble the original (C, H, W) level tensor (dense + outliers)."""
+def unpack_activations(packed: PackedActivations, slow_reference: bool = False) -> np.ndarray:
+    """Reassemble the original (C, H, W) level tensor (dense + outliers).
+
+    The default path scatters all outlier FIFO entries in one fancy-index
+    assignment; ``slow_reference=True`` keeps the per-entry loop. Both
+    write duplicates last-entry-wins.
+    """
     c, h, w = packed.shape
     n_blocks = -(-c // LANES)
     dense = packed.dense.reshape(h, w, n_blocks, LANES).transpose(2, 3, 0, 1).reshape(n_blocks * LANES, h, w)
     out = dense.copy()
-    for entry in packed.outliers:
-        out[entry.c_idx, entry.h_idx, entry.w_idx] = entry.value
+    if slow_reference:
+        for entry in packed.outliers:
+            out[entry.c_idx, entry.h_idx, entry.w_idx] = entry.value
+    elif packed.outliers:
+        table = packed._coord_table()
+        out[table[:, 0], table[:, 1], table[:, 2]] = table[:, 3]
     return out[:c]

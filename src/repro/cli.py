@@ -13,15 +13,21 @@ Usage::
     python -m repro compare resnet101    # breakdown for any zoo network
     python -m repro profile alexnet      # wall-clock + simulated cycles
     python -m repro faults alexnet       # fault-rate + accumulator sweep
+    python -m repro bench                # vectorized-vs-scalar benchmarks
     python -m repro export alexnet --out results/   # CSV + JSON breakdown
 
 ``run``/``compare`` accept ``--json``/``--csv`` paths; ``profile`` and
 ``faults`` accept ``--json``. The JSON layout is the versioned
 experiment envelope documented in docs/EXPERIMENTS.md. Unknown
 experiment ids and networks exit with status 2 and print the available
-choices. ``run``/``compare``/``profile``/``faults`` take a global
-``--seed`` that overrides every driver's built-in default
-(docs/FAULTS.md explains the precedence).
+choices. ``run``/``compare``/``profile``/``faults``/``bench`` take a
+global ``--seed`` that overrides every driver's built-in default
+(docs/FAULTS.md explains the precedence). ``run``/``compare`` take
+``--jobs N`` to simulate independent layers on a multiprocessing pool
+(breakdown-style experiments only; bit-identical to the serial default),
+and ``bench`` times the vectorized hot paths against their
+``slow_reference`` twins, writing a versioned ``BENCH_<date>.json``
+(docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -66,9 +72,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig2": (fig2_accuracy_vs_ratio, "accuracy vs outlier ratio (mini-AlexNet)"),
     "fig3": (fig3_accuracy_networks, "4-bit OAQ accuracy across networks"),
     "tab1": (table1_configurations, "ISO-area configurations"),
-    "fig11": (lambda: breakdown_experiment("alexnet"), "AlexNet cycle/energy breakdown"),
-    "fig12": (lambda: breakdown_experiment("vgg16"), "VGG-16 cycle/energy breakdown"),
-    "fig13": (lambda: breakdown_experiment("resnet18"), "ResNet-18 cycle/energy breakdown"),
+    "fig11": (lambda jobs=1: breakdown_experiment("alexnet", jobs=jobs), "AlexNet cycle/energy breakdown"),
+    "fig12": (lambda jobs=1: breakdown_experiment("vgg16", jobs=jobs), "VGG-16 cycle/energy breakdown"),
+    "fig13": (lambda jobs=1: breakdown_experiment("resnet18", jobs=jobs), "ResNet-18 cycle/energy breakdown"),
     "fig14": (fig14_ratio_sweep, "energy/cycles/accuracy vs outlier ratio"),
     "fig15": (fig15_scalability, "multi-NPU scalability"),
     "fig16": (fig16_outlier_histogram, "effective outlier-activation ratios"),
@@ -76,6 +82,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig18": (fig18_utilization, "utilization breakdown per conv layer"),
     "fig19": (fig19_chunk_cycles, "per-chunk cycle distributions"),
 }
+
+#: Experiments whose runner accepts the ``--jobs`` layer-parallel knob.
+_JOBS_AWARE = {"fig11", "fig12", "fig13"}
 
 
 def _unknown_network(network: str) -> int:
@@ -122,9 +131,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     envelopes: Dict[str, dict] = {}
     csv_rows: List[dict] = []
+    jobs = getattr(args, "jobs", 1)
     for name in names:
         runner, description = EXPERIMENTS[name]
-        result = runner()
+        result = runner(jobs=jobs) if name in _JOBS_AWARE else runner()
         print(f"== {name} ==")
         print(result.format())
         print()
@@ -146,7 +156,7 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     if args.network not in MEMORY_TABLE:
         return _unknown_network(args.network)
-    result = breakdown_experiment(args.network, ratio=args.ratio)
+    result = breakdown_experiment(args.network, ratio=args.ratio, jobs=args.jobs)
     print(result.format())
     envelopes = {}
     if args.json:
@@ -187,6 +197,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness.bench import default_bench_path, run_benchmarks
+
+    result = run_benchmarks(smoke=args.smoke, seed=args.seed)
+    print(result.format())
+    path = args.json or default_bench_path()
+    envelope = experiment_envelope(
+        "bench", result.to_dict(), "wall-clock hot-path benchmarks (vectorized vs slow_reference)"
+    )
+    print(f"wrote {save_json(envelope, path)}")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .harness.serialize import run_stats_rows
 
@@ -218,6 +241,14 @@ def _add_seed_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate independent layers on an N-process pool "
+             "(breakdown-style experiments; 1 = serial, the default)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -231,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiments", nargs="+", help="experiment ids, e.g. fig11 tab1, or 'all'")
     _add_output_flags(run)
     _add_seed_flag(run)
+    _add_jobs_flag(run)
     run.set_defaults(func=_cmd_run)
 
     abl = sub.add_parser("ablations", help="design-choice ablations")
@@ -242,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--ratio", type=float, default=0.03, help="outlier ratio (default 0.03)")
     _add_output_flags(cmp_)
     _add_seed_flag(cmp_)
+    _add_jobs_flag(cmp_)
     cmp_.set_defaults(func=_cmd_compare)
 
     prof = sub.add_parser("profile", help="wall-clock + simulated-cycle profile")
@@ -277,6 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_flags(faults, csv=False)
     _add_seed_flag(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    bench = sub.add_parser("bench", help="time vectorized hot paths vs slow_reference")
+    bench.add_argument("--smoke", action="store_true", help="small inputs for CI smoke runs")
+    _add_output_flags(bench, csv=False)
+    _add_seed_flag(bench)
+    bench.set_defaults(func=_cmd_bench)
 
     export = sub.add_parser("export", help="save a breakdown as CSV + JSON")
     export.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")

@@ -5,7 +5,7 @@
 operand through its on-chip encoding with a :class:`FaultPlan` striking
 at the boundaries the hardware actually crosses:
 
-1. **weights** — pack → :func:`encode_table` to literal 80-bit words →
+1. **weights** — pack → :func:`encode_packed` to literal 80-bit words →
    strike (surface ``weight_chunks``) → :func:`transfer_words` across
    the DRAM/SRAM channel (surface ``memory``) → decode with
    ``strict=False`` → :func:`validate_packed` under the recovery policy
@@ -36,7 +36,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..arch.act_packing import pack_activations, unpack_activations
-from ..arch.bitcodec import decode_table, encode_table
+from ..arch.bitcodec import decode_table, encode_packed
 from ..arch.chunks import WEIGHT_CHUNK_BITS
 from ..arch.memory import transfer_words
 from ..arch.packing import PackedWeights, pack_weights
@@ -110,7 +110,7 @@ def corrupt_packed_weights(
     ``policy``. With a disabled plan the same words decode back to an
     identical table — the bit-level round trip is exact.
     """
-    base_words, spill_words = encode_table(packed.base_chunks, packed.spill_chunks)
+    base_words, spill_words = encode_packed(packed)
     base_words, _ = plan.corrupt_words(base_words, WEIGHT_CHUNK_BITS, surface="weight_chunks", obs=obs)
     spill_words, _ = plan.corrupt_words(spill_words, WEIGHT_CHUNK_BITS, surface="weight_chunks", obs=obs)
     base_words = transfer_words(base_words, WEIGHT_CHUNK_BITS, plan=plan, obs=obs)

@@ -343,12 +343,22 @@ class BreakdownResult:
         return table + headline
 
 
-def breakdown_experiment(network: str, ratio: float = 0.03) -> BreakdownResult:
-    """Figs. 11 (alexnet), 12 (vgg16), 13 (resnet18)."""
+def breakdown_experiment(network: str, ratio: float = 0.03, jobs: int = 1) -> BreakdownResult:
+    """Figs. 11 (alexnet), 12 (vgg16), 13 (resnet18).
+
+    ``jobs > 1`` simulates each accelerator's layers on a
+    :mod:`multiprocessing` pool (see :mod:`repro.harness.parallel`);
+    results are bit-identical to the serial default.
+    """
     workload = paper_workload(network, ratio=ratio)
     result = BreakdownResult(network=network)
     for kind in ALL_ACCELERATORS:
-        result.runs[kind] = _simulator(kind, network, ratio).simulate_network(workload)
+        if jobs > 1:
+            from .parallel import parallel_network_run
+
+            result.runs[kind] = parallel_network_run(kind, network, ratio=ratio, jobs=jobs)
+        else:
+            result.runs[kind] = _simulator(kind, network, ratio).simulate_network(workload)
     return result
 
 

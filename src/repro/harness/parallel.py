@@ -1,0 +1,94 @@
+"""Opt-in multiprocessing layer-parallel simulation.
+
+The analytic per-layer simulators are embarrassingly parallel across a
+network's layers: every :meth:`simulate_layer` call is a pure function of
+the layer workload, and only the final-output DRAM write-back
+(:meth:`finalize_network`) looks across layers. ``parallel_network_run``
+exploits that: it farms the layers of one (accelerator, network) pair out
+to a :mod:`multiprocessing` pool and reassembles the :class:`RunStats`
+in layer order, so the result is bit-identical to the serial
+``simulate_network`` (asserted by tests/test_bench_and_parallel.py).
+
+Workers rebuild their simulator from the (kind, network, ratio) triple
+instead of pickling it — simulator objects carry an obs
+:class:`~repro.obs.Registry`, which is process-local by design. Worker
+observability therefore stays in the workers; the parent registry only
+records the fan-out under ``parallel/*``.
+
+Enabled from the CLI with ``repro run fig11 --jobs N`` / ``repro compare
+<network> --jobs N``; the default (``jobs=1``) never imports a pool, so
+the serial path is exactly the seed behaviour.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional, Tuple
+
+from ..arch.stats import LayerStats, RunStats
+from ..obs import NULL_REGISTRY, Registry
+
+__all__ = ["parallel_network_run", "pool_context"]
+
+#: Cache of (kind, network, ratio) -> (simulator, workload) per worker
+#: process, so a pool reused across layers builds each simulator once.
+_WORKER_STATE: dict = {}
+
+
+def _simulate_one(job: Tuple[str, str, float, int]) -> LayerStats:
+    kind, network, ratio, index = job
+    state = _WORKER_STATE.get((kind, network, ratio))
+    if state is None:
+        from .experiments import _simulator
+        from .workloads import paper_workload
+
+        state = (_simulator(kind, network, ratio), paper_workload(network, ratio=ratio))
+        _WORKER_STATE[(kind, network, ratio)] = state
+    simulator, workload = state
+    return simulator.simulate_layer(workload.layers[index])
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, shares the warm interpreter), else spawn."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def parallel_network_run(
+    kind: str,
+    network: str,
+    ratio: float = 0.03,
+    jobs: int = 2,
+    obs: Optional[Registry] = None,
+) -> RunStats:
+    """Simulate one network on one accelerator with layers fanned out.
+
+    Bit-identical to ``_simulator(kind, ...).simulate_network(workload)``:
+    layer results come back in submission order and the final-output DRAM
+    charge is applied by the same :meth:`finalize_network` the serial path
+    uses. ``jobs <= 1`` (or a single-layer network) short-circuits to the
+    serial path.
+    """
+    from .experiments import _simulator
+    from .workloads import paper_workload
+
+    obs = obs if obs is not None else NULL_REGISTRY
+    workload = paper_workload(network, ratio=ratio)
+    simulator = _simulator(kind, network, ratio)
+    n_layers = len(workload.layers)
+    if jobs <= 1 or n_layers <= 1:
+        return simulator.simulate_network(workload)
+
+    jobs = min(jobs, n_layers)
+    payload = [(kind, network, ratio, index) for index in range(n_layers)]
+    with obs.timer(f"parallel/{kind}/{network}"):
+        with pool_context().Pool(processes=jobs) as pool:
+            layer_stats = pool.map(_simulate_one, payload, chunksize=1)
+    obs.counter("parallel/jobs").add(jobs)
+    obs.counter("parallel/layers").add(n_layers)
+
+    stats = RunStats(accelerator=simulator.config.name, network=workload.name)
+    for layer in layer_stats:
+        stats.add(layer)
+    return simulator.finalize_network(stats, workload)

@@ -26,7 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..arch.bitcodec import encode_table
+from ..arch.bitcodec import encode_packed
 from ..arch.memory import OLAccelTiling
 from ..arch.packing import PackedWeights, pack_weights
 from ..nn.layers import Conv2d, Linear
@@ -133,8 +133,8 @@ def compile_model(
         # larger tables are split across buffer tiles in hardware. For the
         # program we keep one logical table and skip word serialization
         # when it exceeds the pointer space.
-        if len(packed.spill_chunks) <= 254:
-            base_words, spill_words = encode_table(packed.base_chunks, packed.spill_chunks)
+        if packed.n_spill <= 254:
+            base_words, spill_words = encode_packed(packed)
         else:
             base_words, spill_words = [], []
 

@@ -8,6 +8,15 @@ import pytest
 from repro.nn import TrainConfig, make_dataset, mini_alexnet, train_model
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current simulators instead of comparing",
+    )
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(1234)

@@ -1,0 +1,136 @@
+"""Tests for the `repro bench` harness and the multiprocessing
+layer-parallel mode (both new in the vectorization PR)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness.bench import BENCH_SEED_DEFAULT, default_bench_path, run_benchmarks
+from repro.harness.experiments import ALL_ACCELERATORS, breakdown_experiment
+from repro.harness.parallel import parallel_network_run
+from repro.obs import Registry
+
+PAIRED_CASES = (
+    "pack_weights",
+    "packed_unpack",
+    "bitcodec_encode",
+    "bitcodec_decode",
+    "pack_activations",
+    "unpack_activations",
+    "e2e_alexnet_functional",
+)
+TIMING_ONLY_CASES = ("quantize_weights", "simulate_layer", "simulate_network")
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_benchmarks(smoke=True, seed=0)
+
+
+def test_bench_covers_all_cases(smoke_result):
+    names = [case.name for case in smoke_result.cases]
+    for name in PAIRED_CASES + TIMING_ONLY_CASES:
+        assert name in names
+
+
+def test_bench_timings_positive_and_paired(smoke_result):
+    for case in smoke_result.cases:
+        assert case.best_s > 0
+        assert case.mean_s >= case.best_s
+        if case.name in PAIRED_CASES:
+            assert case.baseline_best_s is not None and case.baseline_best_s > 0
+            assert case.speedup == pytest.approx(case.baseline_best_s / case.best_s)
+        else:
+            assert case.speedup is None
+
+
+def test_bench_vectorization_wins(smoke_result):
+    # even at smoke sizes the chunk-grid paths should win clearly; the
+    # committed full-size BENCH baseline shows far larger margins
+    assert smoke_result.speedup("pack_weights") > 1.5
+    assert smoke_result.speedup("packed_unpack") > 1.5
+    assert smoke_result.speedup("bitcodec_encode") > 1.5
+    assert smoke_result.speedup("e2e_alexnet_functional") > 1.1
+
+
+def test_bench_seed_resolution():
+    assert run_benchmarks(smoke=True, seed=123).seed == 123
+    assert run_benchmarks(smoke=True).seed == BENCH_SEED_DEFAULT
+
+
+def test_bench_to_dict_round_trips_through_json(smoke_result):
+    doc = json.loads(json.dumps(smoke_result.to_dict()))
+    assert doc["kind"] == "bench"
+    assert doc["smoke"] is True
+    assert len(doc["cases"]) == len(smoke_result.cases)
+    assert "obs" in doc
+    formatted = smoke_result.format()
+    assert "pack_weights" in formatted and "speedup" in formatted
+
+
+def test_default_bench_path_is_versioned():
+    path = default_bench_path()
+    assert path.startswith("BENCH_") and path.endswith(".json")
+
+
+def test_bench_cli_smoke_writes_envelope(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--smoke", "--seed", "0", "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.experiment/v1"
+    assert doc["experiment"] == "bench"
+    assert doc["result"]["kind"] == "bench"
+    assert capsys.readouterr().out.count("pack_weights") >= 1
+
+
+# ---------------------------------------------------------------------------
+# layer-parallel mode
+# ---------------------------------------------------------------------------
+
+
+def _runs_equal(a, b):
+    assert a.accelerator == b.accelerator
+    assert a.network == b.network
+    assert len(a.layers) == len(b.layers)
+    for la, lb in zip(a.layers, b.layers):
+        assert la.layer_name == lb.layer_name
+        assert la.cycles == lb.cycles
+        assert la.energy.dram == lb.energy.dram
+        assert la.energy.buffer == lb.energy.buffer
+        assert la.energy.local == lb.energy.local
+        assert la.energy.logic == lb.energy.logic
+
+
+@pytest.mark.parametrize("kind", ["olaccel16", "eyeriss16", "zena8"])
+def test_parallel_run_bit_identical_to_serial(kind):
+    serial = parallel_network_run(kind, "alexnet", jobs=1)
+    parallel = parallel_network_run(kind, "alexnet", jobs=2)
+    _runs_equal(serial, parallel)
+    assert parallel.total_cycles == serial.total_cycles
+    assert parallel.total_energy.total == serial.total_energy.total
+
+
+def test_parallel_obs_counters():
+    obs = Registry()
+    parallel_network_run("olaccel16", "alexnet", jobs=2, obs=obs)
+    snapshot = obs.snapshot()
+    assert snapshot.get("parallel/jobs") == 2
+    assert snapshot.get("parallel/layers", 0) >= 2
+
+
+def test_breakdown_experiment_jobs_matches_serial():
+    serial = breakdown_experiment("alexnet")
+    parallel = breakdown_experiment("alexnet", jobs=2)
+    assert set(serial.runs) == set(parallel.runs) == set(ALL_ACCELERATORS)
+    for kind in ALL_ACCELERATORS:
+        _runs_equal(serial.runs[kind], parallel.runs[kind])
+    assert parallel.normalized_cycles() == serial.normalized_cycles()
+    assert parallel.normalized_energy() == serial.normalized_energy()
+
+
+def test_compare_cli_accepts_jobs(capsys):
+    assert main(["compare", "alexnet", "--jobs", "2"]) == 0
+    assert "olaccel" in capsys.readouterr().out

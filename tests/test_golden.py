@@ -1,0 +1,79 @@
+"""Golden regression fixtures: cycle counts and energy breakdowns for the
+paper-spec AlexNet/VGG-16/ResNet-18 workloads on every accelerator.
+
+The fixtures (``tests/golden/*.json``) pin the analytic simulators'
+outputs so an accidental model change shows up as a diff, not a silent
+drift. After an *intentional* model change, refresh them with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden
+
+and review the JSON diff in the commit (docs/PERFORMANCE.md documents the
+workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import breakdown_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+NETWORKS = ("alexnet", "vgg16", "resnet18")
+RATIO = 0.03
+#: comfortably above float noise, far below any real model change
+REL_TOL = 1e-9
+
+
+def _compute(network: str) -> dict:
+    result = breakdown_experiment(network, ratio=RATIO)
+    accelerators = {}
+    for kind, run in result.runs.items():
+        energy = run.total_energy
+        accelerators[kind] = {
+            "total_cycles": run.total_cycles,
+            "energy": {
+                "dram": energy.dram,
+                "buffer": energy.buffer,
+                "local": energy.local,
+                "logic": energy.logic,
+                "total": energy.total,
+            },
+            "layer_cycles": {layer.layer_name: layer.cycles for layer in run.layers},
+        }
+    return {
+        "schema": "repro.golden/v1",
+        "network": network,
+        "ratio": RATIO,
+        "accelerators": accelerators,
+    }
+
+
+def _assert_matches(golden, actual, path=""):
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert set(golden) == set(actual), f"{path}: keys differ"
+        for key in golden:
+            _assert_matches(golden[key], actual[key], f"{path}/{key}")
+    elif isinstance(golden, (int, float)) and not isinstance(golden, bool):
+        assert actual == pytest.approx(golden, rel=REL_TOL), path
+    else:
+        assert golden == actual, path
+
+
+@pytest.mark.parametrize("network", NETWORKS)
+def test_golden_breakdown(network, request):
+    fixture = GOLDEN_DIR / f"{network}.json"
+    actual = _compute(network)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        fixture.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"updated {fixture}")
+    assert fixture.exists(), (
+        f"missing golden fixture {fixture}; generate it with "
+        "`PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden`"
+    )
+    golden = json.loads(fixture.read_text())
+    _assert_matches(golden, actual)

@@ -1,0 +1,159 @@
+"""Seeded property-style round-trip tests for ``repro.quant.linear`` and
+``repro.quant.outlier``: quantize→dequantize error bounds, sign-magnitude
+grid symmetry, and outlier-ratio invariants across 200 random tensors per
+configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant.linear import LinearQuantizer, quantize_linear, signed_levels, unsigned_levels
+from repro.quant.outlier import (
+    magnitude_threshold,
+    quantize_activations,
+    quantize_weights,
+)
+
+N_TENSORS = 200
+
+
+def _random_tensor(rng):
+    """Heavy-tailed values (normal + occasional large spikes), random size."""
+    size = int(rng.integers(8, 400))
+    x = rng.standard_normal(size) * float(rng.uniform(0.01, 3.0))
+    spikes = rng.random(size) < 0.05
+    x = np.where(spikes, x * float(rng.uniform(5.0, 40.0)), x)
+    return x
+
+
+# ---------------------------------------------------------------------------
+# linear quantizer
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bits,signed", [(4, True), (8, True), (4, False), (8, False)])
+def test_linear_roundtrip_error_bound(bits, signed):
+    rng = np.random.default_rng(bits * 1000 + signed)
+    for _ in range(N_TENSORS):
+        x = _random_tensor(rng)
+        if not signed:
+            x = np.abs(x)
+        quantizer = LinearQuantizer.from_range(float(np.abs(x).max()), bits, signed)
+        error = np.abs(quantizer.roundtrip(x) - x)
+        # full-range grid: every in-range value lands within half a step
+        assert error.max(initial=0.0) <= quantizer.delta / 2 + 1e-12
+
+
+@pytest.mark.parametrize("bits", [2, 4, 8])
+def test_linear_sign_symmetry(bits):
+    # sign-magnitude grid: quantize(-x) == -quantize(x), exactly
+    rng = np.random.default_rng(bits)
+    for _ in range(N_TENSORS):
+        x = _random_tensor(rng)
+        quantizer = LinearQuantizer.from_range(float(np.abs(x).max()), bits, signed=True)
+        assert np.array_equal(quantizer.quantize(-x), -quantizer.quantize(x))
+
+
+def test_linear_idempotent_on_grid():
+    rng = np.random.default_rng(77)
+    for _ in range(N_TENSORS):
+        x = _random_tensor(rng)
+        quantizer = LinearQuantizer.from_range(float(np.abs(x).max()), 4, signed=True)
+        once = quantizer.roundtrip(x)
+        assert np.array_equal(quantizer.roundtrip(once), once)
+
+
+def test_linear_levels_within_grid():
+    rng = np.random.default_rng(78)
+    for _ in range(N_TENSORS):
+        x = _random_tensor(rng)
+        for bits, signed in ((4, True), (4, False)):
+            values = np.abs(x) if not signed else x
+            quantizer = LinearQuantizer.from_range(float(np.abs(x).max()), bits, signed)
+            levels = quantizer.quantize(values)
+            assert levels.max(initial=0) <= quantizer.max_level
+            assert levels.min(initial=0) >= quantizer.min_level
+
+
+def test_quantize_linear_all_zero_and_empty():
+    assert np.array_equal(quantize_linear(np.zeros(5), bits=4), np.zeros(5))
+    assert quantize_linear(np.array([]), bits=4).size == 0
+
+
+# ---------------------------------------------------------------------------
+# outlier-aware quantization (OAQ)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ratio", [0.0, 0.01, 0.03, 0.1])
+def test_oaq_weight_levels_within_outlier_grid(ratio):
+    rng = np.random.default_rng(int(ratio * 1000))
+    for _ in range(N_TENSORS):
+        w = _random_tensor(rng)
+        qt = quantize_weights(w, ratio=ratio)
+        assert np.abs(qt.levels).max(initial=0) <= signed_levels(qt.config.outlier_bits)
+
+
+@pytest.mark.parametrize("ratio", [0.01, 0.03, 0.1])
+def test_oaq_achieved_ratio_bounded_by_target(ratio):
+    # the threshold is the (1 - ratio) magnitude quantile, and rounding can
+    # only pull borderline values back onto the normal grid — so the
+    # achieved outlier fraction never exceeds the target (plus quantile
+    # interpolation slack of one element)
+    rng = np.random.default_rng(int(ratio * 10_000))
+    for _ in range(N_TENSORS):
+        w = _random_tensor(rng)
+        qt = quantize_weights(w, ratio=ratio)
+        assert qt.outlier_count <= int(np.ceil(ratio * w.size)) + 1
+
+
+def test_oaq_ratio_zero_has_no_outliers():
+    rng = np.random.default_rng(42)
+    for _ in range(N_TENSORS):
+        w = _random_tensor(rng)
+        qt = quantize_weights(w, ratio=0.0)
+        assert qt.outlier_count == 0
+
+
+def test_oaq_sign_symmetry():
+    rng = np.random.default_rng(43)
+    for _ in range(N_TENSORS):
+        w = _random_tensor(rng)
+        plus = quantize_weights(w, ratio=0.03)
+        minus = quantize_weights(-w, ratio=0.03)
+        assert plus.delta == minus.delta
+        assert np.array_equal(minus.levels, -plus.levels)
+
+
+def test_oaq_normal_region_error_bound():
+    rng = np.random.default_rng(44)
+    for _ in range(N_TENSORS):
+        w = _random_tensor(rng)
+        qt = quantize_weights(w, ratio=0.03)
+        outlier_cap = signed_levels(qt.config.outlier_bits) * qt.delta
+        in_range = np.abs(w) <= outlier_cap
+        error = np.abs(qt.dequantize() - w)
+        # every value inside the 8-bit grid is within half a shared step
+        assert error[in_range].max(initial=0.0) <= qt.delta / 2 + 1e-12
+
+
+def test_oaq_activation_invariants():
+    rng = np.random.default_rng(45)
+    for _ in range(N_TENSORS):
+        a = np.abs(_random_tensor(rng))
+        threshold = magnitude_threshold(a, 0.03, over_nonzero=True)
+        qt = quantize_activations(a, threshold=threshold)
+        assert qt.levels.min(initial=0) >= 0  # post-ReLU grid is unsigned
+        assert qt.levels.max(initial=0) <= unsigned_levels(qt.config.outlier_bits)
+        # zeros stay exactly zero (ReLU zeros are never outliers)
+        assert np.all(qt.levels[a == 0.0] == 0)
+
+
+def test_magnitude_threshold_places_ratio_above():
+    rng = np.random.default_rng(46)
+    for _ in range(N_TENSORS):
+        x = _random_tensor(rng)
+        threshold = magnitude_threshold(x, 0.1)
+        above = (np.abs(x) > threshold).mean()
+        assert above <= 0.1 + 1.0 / x.size

@@ -1,0 +1,277 @@
+"""Bit-exact equivalence of the vectorized hot paths vs their
+``slow_reference`` scalar twins, across randomized shapes and densities,
+including the fault-injection interplay (rate 0 and rate > 0)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.act_packing import pack_activations, unpack_activations
+from repro.arch.bitcodec import decode_packed, decode_table, encode_packed, encode_table
+from repro.arch.chunks import WEIGHT_CHUNK_BITS, WeightChunk
+from repro.arch.packing import PackedWeights, pack_weights
+from repro.errors import ChunkIntegrityError
+from repro.faults import FaultPlan
+from repro.faults.datapath import corrupt_packed_weights, faulty_olaccel_conv2d
+from repro.obs import Registry
+from repro.olaccel.functional import olaccel_conv2d
+
+
+def _random_levels(rng, out_c, reduction, density):
+    levels = rng.integers(-7, 8, size=(out_c, reduction))
+    outliers = rng.random(size=levels.shape) < density
+    magnitudes = rng.integers(8, 128, size=levels.shape)
+    signs = rng.choice(np.array([-1, 1]), size=levels.shape)
+    return np.where(outliers, signs * magnitudes, levels).astype(np.int64)
+
+
+def _random_shapes(seed, n):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        out_c = int(rng.integers(1, 70))
+        reduction = int(rng.integers(1, 50))
+        density = float(rng.choice(np.array([0.0, 0.01, 0.05, 0.2, 0.6])))
+        yield rng, out_c, reduction, density
+
+
+# ---------------------------------------------------------------------------
+# packing
+# ---------------------------------------------------------------------------
+
+
+def test_pack_weights_chunks_bit_exact():
+    for rng, out_c, reduction, density in _random_shapes(101, 25):
+        levels = _random_levels(rng, out_c, reduction, density)
+        fast = pack_weights(levels)
+        slow = pack_weights(levels, slow_reference=True)
+        assert fast.base_chunks == slow.base_chunks
+        assert fast.spill_chunks == slow.spill_chunks
+        assert fast == slow
+        assert fast.single_outlier_chunks == slow.single_outlier_chunks
+        assert fast.multi_outlier_chunks == slow.multi_outlier_chunks
+        assert fast.total_bits == slow.total_bits
+
+
+def test_unpack_round_trips_both_paths():
+    for rng, out_c, reduction, density in _random_shapes(202, 25):
+        levels = _random_levels(rng, out_c, reduction, density)
+        fast = pack_weights(levels)
+        slow = pack_weights(levels, slow_reference=True)
+        assert np.array_equal(fast.unpack(), levels)
+        assert np.array_equal(fast.unpack(slow_reference=True), levels)
+        assert np.array_equal(slow.unpack(), levels)
+        assert np.array_equal(slow.unpack(slow_reference=True), levels)
+
+
+def test_pack_weights_extreme_levels():
+    # every boundary level, including the sign-in-nibble -8/-127 cases
+    levels = np.array([[-127, -8, -7, -1, 0, 1, 7, 8, 127, 64, -64, 15, -15, 56, -56, 120]])
+    fast = pack_weights(levels.T @ np.ones((1, 3), dtype=np.int64))
+    slow = pack_weights(levels.T @ np.ones((1, 3), dtype=np.int64), slow_reference=True)
+    assert fast.base_chunks == slow.base_chunks
+    assert fast.spill_chunks == slow.spill_chunks
+
+
+def test_empty_reduction_matrix():
+    levels = np.zeros((5, 0), dtype=np.int64)
+    fast = pack_weights(levels)
+    slow = pack_weights(levels, slow_reference=True)
+    assert fast.base_chunks == slow.base_chunks == []
+    assert fast.unpack().shape == (5, 0)
+
+
+# ---------------------------------------------------------------------------
+# outlier-count caching regression (the O(n)-scan-per-access fix)
+# ---------------------------------------------------------------------------
+
+
+def test_outlier_counts_cached_on_construction():
+    levels = _random_levels(np.random.default_rng(3), 48, 20, 0.2)
+    packed = pack_weights(levels)
+    single, multi = packed.single_outlier_chunks, packed.multi_outlier_chunks
+    assert single > 0 and multi > 0
+    # in-place mutation of a materialized list is not rescanned: the counts
+    # were cached at construction
+    packed.base_chunks.append(WeightChunk(lanes=(0,) * 16, ol_idx=3, ol_msb=5))
+    assert packed.single_outlier_chunks == single
+    assert packed.multi_outlier_chunks == multi
+
+
+def test_outlier_counts_recomputed_on_setter():
+    levels = _random_levels(np.random.default_rng(4), 32, 10, 0.3)
+    packed = pack_weights(levels)
+    plain = [WeightChunk(lanes=(1,) * 16) for _ in range(4)]
+    single_chunk = WeightChunk(lanes=(0,) * 16, ol_idx=2, ol_msb=-3)
+    packed.base_chunks = plain + [single_chunk]
+    assert packed.single_outlier_chunks == 1
+    assert packed.multi_outlier_chunks == 0
+    packed.spill_chunks = []
+    assert packed.n_spill == 0
+
+
+def test_chunk_list_assignment_preserves_other_half():
+    # assigning base_chunks on a table-backed object must not lose spills
+    levels = _random_levels(np.random.default_rng(5), 32, 12, 0.4)
+    packed = pack_weights(levels)  # table-backed, chunks not materialized
+    n_spill = packed.n_spill
+    assert n_spill > 0
+    packed.base_chunks = pack_weights(levels, slow_reference=True).base_chunks
+    assert len(packed.spill_chunks) == n_spill
+    assert np.array_equal(packed.unpack(slow_reference=True), levels)
+
+
+# ---------------------------------------------------------------------------
+# bit codec
+# ---------------------------------------------------------------------------
+
+
+def test_encode_packed_matches_encode_table():
+    for rng, out_c, reduction, density in _random_shapes(303, 25):
+        levels = _random_levels(rng, out_c, reduction, min(density, 0.05))
+        packed = pack_weights(levels)
+        if packed.n_spill > 254:
+            continue
+        fast_base, fast_spill = encode_packed(packed)
+        slow_base, slow_spill = encode_table(packed.base_chunks, packed.spill_chunks)
+        assert fast_base == slow_base
+        assert fast_spill == slow_spill
+
+
+def test_decode_packed_matches_decode_table():
+    for rng, out_c, reduction, density in _random_shapes(404, 25):
+        levels = _random_levels(rng, out_c, reduction, min(density, 0.05))
+        packed = pack_weights(levels)
+        if packed.n_spill > 254:
+            continue
+        base_words, spill_words = encode_packed(packed)
+        decoded = decode_packed(
+            base_words,
+            spill_words,
+            n_groups=packed.n_groups,
+            reduction=packed.reduction,
+            out_channels=packed.out_channels,
+        )
+        bases, spills = decode_table(base_words, spill_words)
+        assert decoded.base_chunks == bases
+        assert decoded.spill_chunks == spills
+        assert np.array_equal(decoded.unpack(), levels)
+
+
+def test_decode_packed_corrupted_words_match_scalar():
+    rng = np.random.default_rng(505)
+    for _ in range(40):
+        levels = _random_levels(rng, 33, 20, 0.05)
+        packed = pack_weights(levels)
+        base_words, spill_words = encode_packed(packed)
+        for _ in range(6):
+            index = int(rng.integers(len(base_words)))
+            base_words[index] ^= 1 << int(rng.integers(WEIGHT_CHUNK_BITS))
+        kwargs = dict(
+            n_groups=packed.n_groups,
+            reduction=packed.reduction,
+            out_channels=packed.out_channels,
+        )
+        bases, spills = decode_table(base_words, spill_words, strict=False)
+        decoded = decode_packed(base_words, spill_words, strict=False, **kwargs)
+        assert decoded.base_chunks == bases
+        assert decoded.spill_chunks == spills
+        # strict mode raises (or not) identically
+        try:
+            decode_table(base_words, spill_words, strict=True)
+            scalar_raised = False
+        except ChunkIntegrityError:
+            scalar_raised = True
+        if scalar_raised:
+            with pytest.raises(ChunkIntegrityError):
+                decode_packed(base_words, spill_words, strict=True, **kwargs)
+        else:
+            decode_packed(base_words, spill_words, strict=True, **kwargs)
+
+
+def test_decode_packed_rejects_oversized_word():
+    with pytest.raises(ChunkIntegrityError):
+        decode_packed([1 << WEIGHT_CHUNK_BITS], [], n_groups=1, reduction=1, out_channels=1)
+
+
+# ---------------------------------------------------------------------------
+# activation packing
+# ---------------------------------------------------------------------------
+
+
+def test_pack_activations_fast_matches_slow():
+    rng = np.random.default_rng(606)
+    for _ in range(20):
+        c, h, w = (int(rng.integers(1, 40)), int(rng.integers(1, 12)), int(rng.integers(1, 12)))
+        levels = rng.integers(0, 16, size=(c, h, w))
+        outliers = rng.random(size=levels.shape) < 0.1
+        levels = np.where(outliers, rng.integers(16, 300, size=levels.shape), levels).astype(np.int64)
+        fast = pack_activations(levels)
+        slow = pack_activations(levels, slow_reference=True)
+        assert np.array_equal(fast.dense, slow.dense)
+        assert fast.outliers == slow.outliers
+        assert np.array_equal(unpack_activations(fast), levels)
+        assert np.array_equal(unpack_activations(fast, slow_reference=True), levels)
+        assert np.array_equal(unpack_activations(slow), levels)
+
+
+# ---------------------------------------------------------------------------
+# functional datapath
+# ---------------------------------------------------------------------------
+
+
+def test_olaccel_conv2d_fast_matches_slow():
+    rng = np.random.default_rng(707)
+    acts = rng.integers(0, 30, size=(1, 8, 7, 7)).astype(np.int64)
+    weights = _random_levels(rng, 24, 8 * 9, 0.1).reshape(24, 8, 3, 3)
+    fast = olaccel_conv2d(acts, weights, pad=1)
+    slow = olaccel_conv2d(acts, weights, pad=1, slow_reference=True)
+    assert np.array_equal(fast.psum, slow.psum)
+    assert fast.cycles == slow.cycles
+    assert np.array_equal(fast.pass_cycles, slow.pass_cycles)
+    assert fast.outlier_broadcasts == slow.outlier_broadcasts
+
+
+# ---------------------------------------------------------------------------
+# fault-injection interplay
+# ---------------------------------------------------------------------------
+
+
+def test_faults_rate_zero_identity_both_paths():
+    rng = np.random.default_rng(808)
+    levels = _random_levels(rng, 32, 18, 0.05)
+    plan = FaultPlan(rate=0.0, seed=9)
+    for slow in (False, True):
+        packed = pack_weights(levels, slow_reference=slow)
+        rebuilt = corrupt_packed_weights(packed, plan)
+        assert np.array_equal(rebuilt.unpack(), levels)
+        assert np.array_equal(rebuilt.unpack(slow_reference=True), levels)
+
+
+def test_faults_nonzero_rate_identical_across_packing_paths():
+    # FaultPlan's rng is stateless per (seed, surface): identical word
+    # lists get identical strikes, so the fast- and slow-packed tables
+    # degrade identically.
+    rng = np.random.default_rng(909)
+    levels = _random_levels(rng, 48, 22, 0.05)
+    plan = FaultPlan(rate=5e-3, seed=31)
+
+    results = []
+    for slow in (False, True):
+        obs = Registry()
+        packed = pack_weights(levels, slow_reference=slow)
+        rebuilt = corrupt_packed_weights(packed, plan, policy="degrade", obs=obs)
+        counters = obs.snapshot()
+        results.append((rebuilt.unpack(), counters))
+    (fast_levels, fast_counters), (slow_levels, slow_counters) = results
+    assert np.array_equal(fast_levels, slow_levels)
+    assert fast_counters == slow_counters
+
+
+def test_faulty_conv_counters_reconcile_with_fast_paths():
+    rng = np.random.default_rng(111)
+    acts = rng.integers(0, 25, size=(1, 4, 6, 6)).astype(np.int64)
+    weights = _random_levels(rng, 16, 4 * 9, 0.08).reshape(16, 4, 3, 3)
+    outcome = faulty_olaccel_conv2d(acts, weights, pad=1, plan=FaultPlan(rate=2e-3, seed=5))
+    assert outcome.injected == outcome.detected + outcome.undetected
+    assert outcome.undetected >= 0

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Standalone benchmark entry point (same engine as ``repro bench``).
+
+Times the vectorized hot paths against their ``slow_reference`` twins and
+writes the versioned ``BENCH_<date>.json`` envelope. CI runs the smoke
+variant and uploads the JSON as an artifact; run the full set locally to
+record a baseline:
+
+    PYTHONPATH=src python tools/bench_runner.py [--smoke] [--seed N] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.bench import default_bench_path, run_benchmarks  # noqa: E402
+from repro.harness.serialize import experiment_envelope, save_json  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small inputs for CI smoke runs")
+    parser.add_argument("--seed", type=int, default=None, metavar="N")
+    parser.add_argument("--json", metavar="PATH", help=f"output path (default {default_bench_path()})")
+    args = parser.parse_args(argv)
+
+    result = run_benchmarks(smoke=args.smoke, seed=args.seed)
+    print(result.format())
+    envelope = experiment_envelope(
+        "bench", result.to_dict(), "wall-clock hot-path benchmarks (vectorized vs slow_reference)"
+    )
+    print(f"wrote {save_json(envelope, args.json or default_bench_path())}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
