@@ -28,12 +28,25 @@ global ``--seed`` that overrides every driver's built-in default
 and ``bench`` times the vectorized hot paths against their
 ``slow_reference`` twins, writing a versioned ``BENCH_<date>.json``
 (docs/PERFORMANCE.md).
+
+Sweep-shaped verbs are **resumable** (docs/RESILIENCE.md): ``run
+fig11/12/13``, ``compare`` and ``faults`` take ``--run-dir DIR`` to
+checkpoint each cell of the sweep into ``DIR`` under a manifest, with
+per-cell supervision (``--timeout`` seconds per cell, ``--retries``
+attempts with exponential backoff); a failing cell is recorded as a
+structured CellError and rendered FAILED instead of aborting (exit
+status 1 flags partial results). ``repro resume DIR`` re-executes only
+the missing/failed cells and reassembles the final envelope
+bit-identically to an uninterrupted run (``--no-verify`` skips the
+artifact digest checks). ``export`` refuses to overwrite existing
+artifacts unless ``--force`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict, List
 
 from .harness import (
@@ -58,12 +71,25 @@ from .harness import (
     sweep_group_size,
     table1_configurations,
 )
+from .errors import ArtifactIntegrityError
 from .harness.faults import DEFAULT_RATES, DEFAULT_WIDTHS
+from .harness.resilience import (
+    RetryPolicy,
+    RunDir,
+    breakdown_plan,
+    execute_sweep,
+    faults_plan,
+    resume_run,
+)
+from .harness.seeding import global_seed
 from .harness.workloads import MEMORY_TABLE
 from .faults.plan import FAULT_MODELS
 from .faults.validate import RECOVERY_POLICIES
 
 __all__ = ["main", "EXPERIMENTS"]
+
+#: Experiments that decompose into checkpointable cells (--run-dir).
+SWEEPABLE = {"fig11": "alexnet", "fig12": "vgg16", "fig13": "resnet18"}
 
 #: Experiment id -> (runner, description). Runners return objects with
 #: ``format()``.
@@ -119,6 +145,28 @@ def _write_outputs(args: argparse.Namespace, envelopes: Dict[str, dict], csv_row
     return 0
 
 
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
+    return RetryPolicy(
+        max_attempts=getattr(args, "retries", 3),
+        timeout_s=getattr(args, "timeout", None),
+    )
+
+
+def _run_sweep(plan, args: argparse.Namespace):
+    """Execute one checkpointed sweep; returns (result, envelope, exit code)."""
+    try:
+        result, envelope, _, _ = execute_sweep(
+            plan,
+            args.run_dir,
+            jobs=getattr(args, "jobs", 1),
+            retry=_retry_policy(args),
+        )
+    except ArtifactIntegrityError as exc:
+        print(str(exc), file=sys.stderr)
+        return None, None, 2
+    return result, envelope, 1 if envelope["resilience"]["cells_failed"] else 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names: List[str] = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -129,6 +177,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if getattr(args, "run_dir", None):
+        if len(names) != 1 or names[0] not in SWEEPABLE:
+            print(
+                "--run-dir requires exactly one sweep-shaped experiment; "
+                f"available: {', '.join(SWEEPABLE)}",
+                file=sys.stderr,
+            )
+            return 2
+        name = names[0]
+        _, description = EXPERIMENTS[name]
+        plan = breakdown_plan(
+            SWEEPABLE[name], seed=global_seed(), experiment=name, description=description
+        )
+        result, envelope, code = _run_sweep(plan, args)
+        if result is None:
+            return code
+        print(f"== {name} ==")
+        print(result.format())
+        print()
+        write_code = _write_outputs(
+            args, {name: envelope}, experiment_csv_rows(result) if args.csv else []
+        )
+        return code or write_code
     envelopes: Dict[str, dict] = {}
     csv_rows: List[dict] = []
     jobs = getattr(args, "jobs", 1)
@@ -156,6 +227,16 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     if args.network not in MEMORY_TABLE:
         return _unknown_network(args.network)
+    if getattr(args, "run_dir", None):
+        plan = breakdown_plan(args.network, ratio=args.ratio, seed=global_seed())
+        result, envelope, code = _run_sweep(plan, args)
+        if result is None:
+            return code
+        print(result.format())
+        write_code = _write_outputs(
+            args, {"compare": envelope}, experiment_csv_rows(result) if args.csv else []
+        )
+        return code or write_code
     result = breakdown_experiment(args.network, ratio=args.ratio, jobs=args.jobs)
     print(result.format())
     envelopes = {}
@@ -180,6 +261,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     if args.network not in MEMORY_TABLE:
         return _unknown_network(args.network)
+    if getattr(args, "run_dir", None):
+        plan = faults_plan(
+            args.network,
+            rates=tuple(args.rates),
+            widths=tuple(args.widths),
+            policy=args.policy,
+            model=args.model,
+            ratio=args.ratio,
+            seed=global_seed(),
+        )
+        result, envelope, code = _run_sweep(plan, args)
+        if result is None:
+            return code
+        print(result.format())
+        if args.json:
+            print(f"wrote {save_json(envelope, args.json)}")
+        return code
     result = fault_sweep(
         args.network,
         rates=tuple(args.rates),
@@ -210,19 +308,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    try:
+        result, envelope, _, _ = resume_run(
+            args.run_dir,
+            jobs=args.jobs,
+            retry=_retry_policy(args),
+            verify=not args.no_verify,
+        )
+    except ArtifactIntegrityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(result.format())
+    print(f"\nwrote {RunDir(args.run_dir).envelope_path}")
+    if args.json:
+        print(f"wrote {save_json(envelope, args.json)}")
+    return 1 if envelope["resilience"]["cells_failed"] else 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .harness.serialize import run_stats_rows
 
     if args.network not in MEMORY_TABLE:
         return _unknown_network(args.network)
+    csv_path = Path(args.out) / f"{args.network}_layers.csv"
+    json_path = Path(args.out) / f"{args.network}_summary.json"
+    existing = [str(p) for p in (csv_path, json_path) if p.exists()]
+    if existing and not args.force:
+        print(
+            f"refusing to overwrite {', '.join(existing)}; pass --force to replace",
+            file=sys.stderr,
+        )
+        return 2
     result = breakdown_experiment(args.network, ratio=args.ratio)
     rows = []
     for run in result.runs.values():
         rows.extend(run_stats_rows(run))
-    csv_path = save_csv(rows, f"{args.out}/{args.network}_layers.csv")
+    csv_path = save_csv(rows, csv_path)
     json_path = save_json(
         {"cycles": result.normalized_cycles(), "energy": result.normalized_energy()},
-        f"{args.out}/{args.network}_summary.json",
+        json_path,
     )
     print(f"wrote {csv_path} and {json_path}")
     return 0
@@ -241,11 +366,39 @@ def _add_seed_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, rejected at parse time."""
+    try:
+        value = int(text)
+    except (TypeError, ValueError):
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=_positive_int, default=1, metavar="N",
         help="simulate independent layers on an N-process pool "
              "(breakdown-style experiments; 1 = serial, the default)",
+    )
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--run-dir", metavar="DIR", default=None,
+        help="checkpoint each sweep cell into DIR so the run can be "
+             "resumed with `repro resume DIR` (docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-cell timeout in seconds (checkpointed sweeps; default none)",
+    )
+    parser.add_argument(
+        "--retries", type=_positive_int, default=3, metavar="N",
+        help="max attempts per cell incl. the first, with exponential "
+             "backoff between attempts (default 3)",
     )
 
 
@@ -263,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_flags(run)
     _add_seed_flag(run)
     _add_jobs_flag(run)
+    _add_resilience_flags(run)
     run.set_defaults(func=_cmd_run)
 
     abl = sub.add_parser("ablations", help="design-choice ablations")
@@ -275,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output_flags(cmp_)
     _add_seed_flag(cmp_)
     _add_jobs_flag(cmp_)
+    _add_resilience_flags(cmp_)
     cmp_.set_defaults(func=_cmd_compare)
 
     prof = sub.add_parser("profile", help="wall-clock + simulated-cycle profile")
@@ -309,6 +464,8 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--ratio", type=float, default=0.03, help="outlier ratio (default 0.03)")
     _add_output_flags(faults, csv=False)
     _add_seed_flag(faults)
+    _add_jobs_flag(faults)
+    _add_resilience_flags(faults)
     faults.set_defaults(func=_cmd_faults)
 
     bench = sub.add_parser("bench", help="time vectorized hot paths vs slow_reference")
@@ -317,10 +474,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_flag(bench)
     bench.set_defaults(func=_cmd_bench)
 
+    resume = sub.add_parser(
+        "resume", help="re-execute the missing/failed cells of a checkpointed sweep"
+    )
+    resume.add_argument("run_dir", metavar="RUN_DIR", help="run directory with a manifest.json")
+    resume.add_argument(
+        "--no-verify", action="store_true",
+        help="skip artifact digest verification when reading checkpointed cells",
+    )
+    resume.add_argument("--json", metavar="PATH", help="also write the final envelope here")
+    resume.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-cell timeout in seconds (default none)",
+    )
+    resume.add_argument(
+        "--retries", type=_positive_int, default=3, metavar="N",
+        help="max attempts per cell incl. the first (default 3)",
+    )
+    _add_jobs_flag(resume)
+    resume.set_defaults(func=_cmd_resume)
+
     export = sub.add_parser("export", help="save a breakdown as CSV + JSON")
     export.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
     export.add_argument("--ratio", type=float, default=0.03)
     export.add_argument("--out", default="results", help="output directory (default ./results)")
+    export.add_argument(
+        "--force", action="store_true",
+        help="overwrite existing output files (refused with exit 2 otherwise)",
+    )
     export.set_defaults(func=_cmd_export)
     return parser
 
@@ -328,4 +509,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     set_global_seed(getattr(args, "seed", None))
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Checkpointed sweeps have already terminated+joined their
+        # workers and flushed completed cells; exit like a shell would.
+        print("interrupted", file=sys.stderr)
+        return 130

@@ -18,11 +18,23 @@ with one clause, or narrow to a family:
   corrupt lane nibble, a swarm-buffer entry pointing outside its
   tensor). Carries the chunk coordinates so a fault report can name the
   exact 80-bit word.
+- :class:`ArtifactIntegrityError` — an on-disk artifact (JSON/CSV
+  envelope, checkpoint cell record, manifest) is truncated, fails its
+  embedded content digest, or was written under a different manifest.
+  Carries the path and reason, mirroring the chunk-level diagnostics at
+  the filesystem layer.
+- :class:`CellError` — one cell of a checkpointed sweep failed
+  (worker exception, per-task timeout, or a crashed/killed worker
+  process). Carries the cell id, the failure kind and the attempt
+  count so reports and envelopes can name exactly what is missing.
 
-Every concrete class also subclasses :class:`ValueError`: the seed
-codebase raised bare ``ValueError`` for all of these conditions, and
+Every pre-existing concrete class also subclasses :class:`ValueError`:
+the seed codebase raised bare ``ValueError`` for those conditions, and
 existing ``except ValueError`` call sites (and tests) must keep working
-unchanged. New code should catch the taxonomy classes instead.
+unchanged. :class:`CellError` is new with this taxonomy (no legacy
+call sites) and subclasses :class:`RuntimeError` instead — it reports a
+failed computation, not a bad value. New code should catch the
+taxonomy classes.
 
 The fault-injection layer (:mod:`repro.faults`) raises
 :class:`ChunkIntegrityError` under its ``raise`` recovery policy and
@@ -40,6 +52,8 @@ __all__ = [
     "QuantRangeError",
     "CapacityError",
     "ChunkIntegrityError",
+    "ArtifactIntegrityError",
+    "CellError",
 ]
 
 
@@ -98,3 +112,70 @@ class ChunkIntegrityError(ReproError, ValueError):
             where.append("spill")
         suffix = f" [{', '.join(where)}]" if where else ""
         super().__init__(message + suffix)
+
+
+class ArtifactIntegrityError(ReproError, ValueError):
+    """An on-disk artifact is truncated, corrupt, or fails its digest.
+
+    ``path`` names the offending file and ``reason`` the check that
+    failed (``truncated``, ``digest_mismatch``, ``missing_digest``,
+    ``manifest_mismatch``); both are rendered into the message so logs
+    name the exact artifact, in the same spirit as
+    :class:`ChunkIntegrityError` naming the exact 80-bit word.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        reason: Optional[str] = None,
+    ):
+        self.path = str(path) if path is not None else None
+        self.reason = reason
+        where = []
+        if path is not None:
+            where.append(f"path={path}")
+        if reason is not None:
+            where.append(f"reason={reason}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        super().__init__(message + suffix)
+
+
+class CellError(ReproError, RuntimeError):
+    """One cell of a checkpointed sweep failed.
+
+    ``kind`` distinguishes the failure mode: ``"exception"`` (the cell
+    runner raised), ``"timeout"`` (the worker exceeded its per-task
+    budget), ``"crash"`` (the worker process died without reporting).
+    ``attempts`` counts executions including retries. Structured so a
+    failed cell can be recorded in an envelope and re-raised losslessly
+    by ``repro resume``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell_id: Optional[str] = None,
+        kind: str = "exception",
+        attempts: int = 1,
+    ):
+        self.cell_id = cell_id
+        self.kind = kind
+        self.attempts = attempts
+        where = []
+        if cell_id is not None:
+            where.append(f"cell={cell_id}")
+        where.append(f"kind={kind}")
+        where.append(f"attempts={attempts}")
+        super().__init__(f"{message} [{', '.join(where)}]")
+
+    def to_dict(self) -> dict:
+        """JSON-able form recorded in cell records and envelopes."""
+        return {
+            "cell_id": self.cell_id,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": str(self),
+        }

@@ -280,10 +280,17 @@ def table1_configurations() -> Table1Result:
 
 @dataclass
 class BreakdownResult:
-    """Normalized cycle/energy comparison across all six accelerators."""
+    """Normalized cycle/energy comparison across all six accelerators.
+
+    Under the resilient execution path (docs/RESILIENCE.md) individual
+    accelerator cells can fail without aborting the sweep; those land in
+    ``failures`` (accelerator kind -> structured CellError dict) and the
+    report renders a FAILED row in their place.
+    """
 
     network: str
     runs: Dict[str, RunStats] = field(default_factory=dict)
+    failures: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @property
     def reference(self) -> RunStats:
@@ -320,10 +327,35 @@ class BreakdownResult:
         return {s.layer_name: s.cycles / ref for s in self.runs[kind].layers}
 
     def format(self) -> str:
+        from .report import FAILED, format_failures
+
+        if "eyeriss16" not in self.runs:
+            # The normalization reference itself failed — render absolute
+            # totals for whatever succeeded plus the failure table.
+            rows = [
+                (kind, f"{self.runs[kind].total_cycles:.0f}",
+                 f"{self.runs[kind].total_energy.total:.0f}")
+                if kind in self.runs
+                else (kind, FAILED, FAILED)
+                for kind in ALL_ACCELERATORS
+                if kind in self.runs or kind in self.failures
+            ]
+            table = format_table(
+                ["accelerator", "cycles (abs)", "energy (abs pJ)"], rows,
+                title=f"Cycle & energy breakdown, {self.network} "
+                      "(reference eyeriss16 FAILED; absolute values)",
+            )
+            return table + "\n" + format_failures(self.failures.values())
+
         cyc = self.normalized_cycles()
         en = self.normalized_energy()
         rows = []
         for kind in ALL_ACCELERATORS:
+            if kind in self.failures:
+                rows.append((kind,) + (FAILED,) * 6)
+                continue
+            if kind not in self.runs:
+                continue
             e = en[kind]
             rows.append(
                 (kind, f"{cyc[kind]:.3f}", f"{e['total']:.3f}", f"{e['dram']:.3f}",
@@ -334,13 +366,20 @@ class BreakdownResult:
             rows,
             title=f"Cycle & energy breakdown, {self.network} (normalized to eyeriss16)",
         )
-        headline = (
-            f"\nOLAccel16 vs ZeNA16: energy -{self.reduction('olaccel16', 'zena16') * 100:.1f}%, "
-            f"cycles -{self.reduction('olaccel16', 'zena16', 'cycles') * 100:.1f}%"
-            f"\nOLAccel8  vs ZeNA8 : energy -{self.reduction('olaccel8', 'zena8') * 100:.1f}%, "
-            f"cycles -{self.reduction('olaccel8', 'zena8', 'cycles') * 100:.1f}%"
-        )
-        return table + headline
+        headlines = []
+        for a, b, label in (
+            ("olaccel16", "zena16", "OLAccel16 vs ZeNA16"),
+            ("olaccel8", "zena8", "OLAccel8  vs ZeNA8 "),
+        ):
+            if a in self.runs and b in self.runs:
+                headlines.append(
+                    f"\n{label}: energy -{self.reduction(a, b) * 100:.1f}%, "
+                    f"cycles -{self.reduction(a, b, 'cycles') * 100:.1f}%"
+                )
+        text = table + "".join(headlines)
+        if self.failures:
+            text += "\n" + format_failures(self.failures.values())
+        return text
 
 
 def breakdown_experiment(network: str, ratio: float = 0.03, jobs: int = 1) -> BreakdownResult:

@@ -19,6 +19,15 @@ conv layer (from :func:`repro.harness.workloads.paper_workload`), then:
 
 Results carry ``format()`` for the terminal and serialize through the
 standard ``repro.experiment/v1`` envelope (docs/EXPERIMENTS.md).
+
+Each rate point and each width point is an independent **cell**
+(:func:`fault_rate_cell` / :func:`fault_width_cell`): a pure function of
+(network, parameters, seed) returning one JSON-able row. ``fault_sweep``
+runs the cells serially; ``repro.harness.resilience`` runs the same
+cells through the checkpointed supervised pool, so an interrupted sweep
+resumes bit-identically (docs/RESILIENCE.md). Cells that fail under the
+resilient path land in ``FaultSweepResult.failures`` and render as a
+FAILED section instead of aborting the sweep.
 """
 
 from __future__ import annotations
@@ -32,11 +41,19 @@ from ..faults import AccumulatorModel, FaultPlan, faulty_olaccel_conv2d, require
 from ..faults.plan import FAULT_MODELS
 from ..faults.validate import RECOVERY_POLICIES
 from ..obs import Registry
-from .report import format_table
+from .report import format_failures, format_table
 from .seeding import resolve_seed
 from .workloads import paper_workload
 
-__all__ = ["DEFAULT_RATES", "DEFAULT_WIDTHS", "FaultSweepResult", "fault_sweep"]
+__all__ = [
+    "DEFAULT_RATES",
+    "DEFAULT_WIDTHS",
+    "FaultSweepResult",
+    "fault_sweep",
+    "fault_case",
+    "fault_rate_cell",
+    "fault_width_cell",
+]
 
 #: Default per-word strike probabilities swept by ``repro faults``.
 DEFAULT_RATES = (0.0, 1e-4, 1e-3, 1e-2)
@@ -60,6 +77,8 @@ class FaultSweepResult:
     required_bits: int
     rate_rows: List[Dict[str, float]] = field(default_factory=list)
     width_rows: List[Dict[str, float]] = field(default_factory=list)
+    #: Structured CellError dicts for cells the resilient path gave up on.
+    failures: List[Dict[str, object]] = field(default_factory=list)
 
     def format(self) -> str:
         lines = [
@@ -101,6 +120,8 @@ class FaultSweepResult:
                 ],
             ),
         ]
+        if self.failures:
+            lines += ["", format_failures(self.failures)]
         return "\n".join(lines)
 
 
@@ -133,6 +154,76 @@ def _synthetic_case(network: str, ratio: float, seed: int):
     return acts, weights, stats
 
 
+def fault_case(network: str, ratio: float, seed: int):
+    """The sweep's shared operands: (acts, weights, stats, required_bits).
+
+    A pure function of its arguments, so every cell (and the final
+    assembly) recomputes identical operands instead of shipping arrays
+    between processes.
+    """
+    acts, weights, stats = _synthetic_case(network, ratio, seed)
+    act_max = int(acts.max(initial=1))
+    weight_max = int(np.abs(weights).max(initial=1))
+    reduction = weights.shape[1] * weights.shape[2] * weights.shape[3]
+    required = required_accumulator_bits(reduction, act_max, weight_max)
+    return acts, weights, stats, required
+
+
+def fault_rate_cell(
+    network: str,
+    rate: float,
+    policy: str = "degrade",
+    model: str = "bitflip",
+    ratio: float = 0.03,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """One rate-sweep row — an independent, checkpointable cell."""
+    acts, weights, _, _ = fault_case(network, ratio, seed)
+    run = faulty_olaccel_conv2d(
+        acts,
+        weights,
+        pad=1,
+        plan=FaultPlan(rate=float(rate), seed=seed, model=model),
+        policy=policy,
+    )
+    return {
+        "rate": float(rate),
+        "injected": run.injected,
+        "detected": run.detected,
+        "undetected": run.undetected,
+        "masked": run.masked,
+        "skipped": run.skipped,
+        "mismatch_fraction": run.mismatch_fraction,
+        "max_abs_error": run.max_abs_error,
+        "bit_exact": run.bit_exact,
+    }
+
+
+def fault_width_cell(
+    network: str,
+    width: int,
+    ratio: float = 0.03,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """One accumulator-width row — an independent, checkpointable cell."""
+    acts, weights, _, _ = fault_case(network, ratio, seed)
+    run = faulty_olaccel_conv2d(
+        acts,
+        weights,
+        pad=1,
+        acc=AccumulatorModel(width_bits=int(width), mode="saturate"),
+        obs=Registry(),
+    )
+    return {
+        "width_bits": int(width),
+        "mode": "saturate",
+        "overflows": run.acc_overflows,
+        "mismatch_fraction": run.mismatch_fraction,
+        "max_abs_error": run.max_abs_error,
+        "bit_exact": run.bit_exact,
+    }
+
+
 def fault_sweep(
     network: str,
     rates: Sequence[float] = DEFAULT_RATES,
@@ -148,56 +239,15 @@ def fault_sweep(
     if model not in FAULT_MODELS:
         raise ValueError(f"unknown fault model {model!r}; one of {FAULT_MODELS}")
     seed = resolve_seed(seed, default=0)
-    acts, weights, stats = _synthetic_case(network, ratio, seed)
+    _, _, stats, required = fault_case(network, ratio, seed)
 
-    rate_rows: List[Dict[str, float]] = []
-    for rate in rates:
-        run = faulty_olaccel_conv2d(
-            acts,
-            weights,
-            pad=1,
-            plan=FaultPlan(rate=float(rate), seed=seed, model=model),
-            policy=policy,
-        )
-        rate_rows.append(
-            {
-                "rate": float(rate),
-                "injected": run.injected,
-                "detected": run.detected,
-                "undetected": run.undetected,
-                "masked": run.masked,
-                "skipped": run.skipped,
-                "mismatch_fraction": run.mismatch_fraction,
-                "max_abs_error": run.max_abs_error,
-                "bit_exact": run.bit_exact,
-            }
-        )
-
-    act_max = int(acts.max(initial=1))
-    weight_max = int(np.abs(weights).max(initial=1))
-    reduction = weights.shape[1] * weights.shape[2] * weights.shape[3]
-    required = required_accumulator_bits(reduction, act_max, weight_max)
-
-    width_rows: List[Dict[str, float]] = []
-    for width in widths:
-        obs = Registry()
-        run = faulty_olaccel_conv2d(
-            acts,
-            weights,
-            pad=1,
-            acc=AccumulatorModel(width_bits=int(width), mode="saturate"),
-            obs=obs,
-        )
-        width_rows.append(
-            {
-                "width_bits": int(width),
-                "mode": "saturate",
-                "overflows": run.acc_overflows,
-                "mismatch_fraction": run.mismatch_fraction,
-                "max_abs_error": run.max_abs_error,
-                "bit_exact": run.bit_exact,
-            }
-        )
+    rate_rows = [
+        fault_rate_cell(network, rate, policy=policy, model=model, ratio=ratio, seed=seed)
+        for rate in rates
+    ]
+    width_rows = [
+        fault_width_cell(network, width, ratio=ratio, seed=seed) for width in widths
+    ]
 
     return FaultSweepResult(
         network=network,

@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 
 from ..arch.stats import LayerStats, RunStats
 from ..obs import NULL_REGISTRY, Registry
+from .seeding import global_seed, set_global_seed
 
 __all__ = ["parallel_network_run", "pool_context"]
 
@@ -35,8 +36,12 @@ __all__ = ["parallel_network_run", "pool_context"]
 _WORKER_STATE: dict = {}
 
 
-def _simulate_one(job: Tuple[str, str, float, int]) -> LayerStats:
-    kind, network, ratio, index = job
+def _simulate_one(job: Tuple[str, str, float, int, Optional[int]]) -> LayerStats:
+    kind, network, ratio, index, seed = job
+    # The parent's global --seed does not travel with fork-at-pool-start
+    # ordering guarantees (and never with spawn); re-seed explicitly so
+    # a retried or resumed layer reproduces bit-identical LayerStats.
+    set_global_seed(seed)
     state = _WORKER_STATE.get((kind, network, ratio))
     if state is None:
         from .experiments import _simulator
@@ -81,10 +86,21 @@ def parallel_network_run(
         return simulator.simulate_network(workload)
 
     jobs = min(jobs, n_layers)
-    payload = [(kind, network, ratio, index) for index in range(n_layers)]
+    payload = [(kind, network, ratio, index, global_seed()) for index in range(n_layers)]
     with obs.timer(f"parallel/{kind}/{network}"):
-        with pool_context().Pool(processes=jobs) as pool:
-            layer_stats = pool.map(_simulate_one, payload, chunksize=1)
+        # Not `with Pool(...)`: Pool.__exit__ only calls terminate() and
+        # leaves the join to GC, so a KeyboardInterrupt mid-imap could
+        # return to the shell with workers still dying in the background.
+        # Terminate AND join explicitly on any interrupt/error.
+        pool = pool_context().Pool(processes=jobs)
+        try:
+            layer_stats = list(pool.imap(_simulate_one, payload, chunksize=1))
+            pool.close()
+            pool.join()
+        except BaseException:
+            pool.terminate()
+            pool.join()
+            raise
     obs.counter("parallel/jobs").add(jobs)
     obs.counter("parallel/layers").add(n_layers)
 

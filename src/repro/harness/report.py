@@ -8,7 +8,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["format_table", "format_series", "format_breakdown", "bar"]
+__all__ = ["FAILED", "format_table", "format_series", "format_breakdown", "format_failures", "bar"]
+
+#: Marker rendered in place of a value whose cell failed (docs/RESILIENCE.md).
+FAILED = "FAILED"
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
@@ -41,6 +44,26 @@ def format_breakdown(label: str, components: Dict[str, float], total: float = No
     total = sum(components.values()) if total is None else total
     parts = ", ".join(f"{k}={v:.4f}" for k, v in components.items())
     return f"{label}: total={total:.4f} [{parts}]"
+
+
+def format_failures(failures: Iterable[Dict]) -> str:
+    """Render structured CellError dicts as the FAILED section of a report.
+
+    Partial results stay useful: the sweep's tables carry the cells
+    that succeeded and this table names exactly which cells did not,
+    how they died, and after how many attempts.
+    """
+    rows = [
+        (
+            f.get("cell_id", "?"),
+            f.get("kind", "?"),
+            f.get("attempts", "?"),
+            str(f.get("message", ""))[:72],
+        )
+        for f in failures
+    ]
+    return format_table(["cell", "failure", "attempts", "detail"], rows,
+                        title=f"{FAILED} cells ({len(rows)})")
 
 
 def bar(value: float, scale: float = 1.0, width: int = 40) -> str:

@@ -1,0 +1,767 @@
+"""Resilient sweep execution: checkpointed cells, supervised workers, resume.
+
+Every sweep-shaped verb decomposes into **cells** — independent
+(accelerator, network, ratio) or (rate)/(width) points, each a pure
+function of its JSON-able parameters plus the global seed. This module
+executes a sweep's cells through a checkpointed, supervised pipeline so
+a crash, hang, or Ctrl-C loses at most the cell in flight:
+
+- **Run directory** — ``<run-dir>/manifest.json`` records the sweep's
+  identity (plan name, parameters, seed, a SHA-256 ``config_hash`` over
+  all of it, and the full cell list); each finished cell writes an
+  atomic, digest-carrying record to ``<run-dir>/cells/<id>.json``.
+- **Supervised worker pool** — each cell runs in its own worker
+  process with a per-task timeout, bounded retry with exponential
+  backoff, and crash isolation: a worker that dies (segfault, OOM
+  kill, raised exception) fails *its cell*, not the run.
+  ``KeyboardInterrupt``/``SIGTERM`` terminate and join all workers
+  before propagating; completed cells are already on disk.
+- **Graceful degradation** — a cell that exhausts its retries is
+  recorded as a structured :class:`~repro.errors.CellError` in its
+  record, the assembled result, and the envelope; reports render a
+  FAILED row instead of aborting.
+- **Resume** — ``repro resume <run-dir>`` re-executes only missing,
+  failed, or corrupt cells and reassembles the final envelope
+  bit-identically to an uninterrupted run (modulo the fields the
+  manifest declares volatile: run id and creation timestamp).
+
+Observability lands under ``resilience/*`` (see docs/RESILIENCE.md for
+the exact counter semantics); the core reconciliation invariant is
+``cells_attempted == cells_succeeded + cells_failed``.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import itertools
+import multiprocessing.connection
+import os
+import signal
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ArtifactIntegrityError, CellError
+from ..obs import NULL_REGISTRY, Registry
+from .parallel import pool_context
+from .seeding import set_global_seed
+from .serialize import (
+    INTEGRITY_KEY,
+    _canonical_dumps,
+    content_digest,
+    experiment_envelope,
+    load_json,
+    save_json,
+)
+
+__all__ = [
+    "RUN_SCHEMA",
+    "CELL_SCHEMA",
+    "MANIFEST_NAME",
+    "ENVELOPE_NAME",
+    "KILL_AFTER_ENV",
+    "CellSpec",
+    "RetryPolicy",
+    "SweepPlan",
+    "RunDir",
+    "register_cell_runner",
+    "breakdown_plan",
+    "faults_plan",
+    "execute_sweep",
+    "resume_run",
+    "canonical_envelope_bytes",
+]
+
+RUN_SCHEMA = "repro.run/v1"
+CELL_SCHEMA = "repro.cell/v1"
+MANIFEST_NAME = "manifest.json"
+ENVELOPE_NAME = "envelope.json"
+CELLS_DIR = "cells"
+
+#: Fields of the manifest (and the envelope's ``resilience`` block) that
+#: legitimately differ between a resumed and an uninterrupted run.
+VOLATILE_FIELDS = ("run_id", "created")
+
+#: Test/CI hook: when set to N, the parent SIGKILLs itself immediately
+#: after the N-th cell record is written this invocation — a
+#: deterministic "crash at a cell boundary" for kill-resume tests.
+KILL_AFTER_ENV = "REPRO_KILL_AFTER_CELLS"
+
+
+# ---------------------------------------------------------------------------
+# Cells, plans, policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One re-executable unit of a sweep, addressable by ``cell_id``."""
+
+    cell_id: str
+    kind: str
+    params: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"cell_id": self.cell_id, "kind": self.kind, "params": dict(self.params)}
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "CellSpec":
+        return CellSpec(cell_id=doc["cell_id"], kind=doc["kind"], params=dict(doc["params"]))
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff and a per-task timeout.
+
+    ``timeout_s=None`` disables the per-task deadline. ``max_attempts``
+    counts executions, so 3 means one try plus two retries.
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+
+    def backoff(self, failed_attempt: int) -> float:
+        return self.backoff_base_s * (self.backoff_factor ** (failed_attempt - 1))
+
+
+@dataclass
+class SweepPlan:
+    """A sweep's full declarative identity: enough to (re-)execute it."""
+
+    plan: str
+    experiment: str
+    description: str
+    seed: Optional[int]
+    params: Dict[str, Any]
+    cells: List[CellSpec] = field(default_factory=list)
+
+    def config_hash(self) -> str:
+        return content_digest(
+            {
+                "plan": self.plan,
+                "experiment": self.experiment,
+                "seed": self.seed,
+                "params": self.params,
+                "cells": [c.to_dict() for c in self.cells],
+            }
+        )
+
+
+#: kind -> runner; a runner maps a cell's params dict to a JSON-able result.
+CELL_RUNNERS: Dict[str, Callable[[Dict[str, Any]], Any]] = {}
+
+#: plan name -> assembler(plan, records) -> result object with ``format()``.
+PLAN_ASSEMBLERS: Dict[str, Callable[["SweepPlan", Dict[str, Dict[str, Any]]], Any]] = {}
+
+
+def register_cell_runner(kind: str, runner: Callable[[Dict[str, Any]], Any]) -> None:
+    """Register a cell runner; workers look their cell's kind up here."""
+    CELL_RUNNERS[kind] = runner
+
+
+# -- built-in cells: breakdown sweeps (fig11/12/13, compare) ----------------
+
+
+def _run_breakdown_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    set_global_seed(params.get("seed"))
+    from .experiments import _simulator
+    from .workloads import paper_workload
+
+    kind, network, ratio = params["accelerator"], params["network"], params["ratio"]
+    workload = paper_workload(network, ratio=ratio)
+    return _simulator(kind, network, ratio).simulate_network(workload).to_dict()
+
+
+def _run_fault_rate_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    set_global_seed(params.get("seed"))
+    from .faults import fault_rate_cell
+
+    return fault_rate_cell(
+        params["network"],
+        params["rate"],
+        policy=params["policy"],
+        model=params["model"],
+        ratio=params["ratio"],
+        seed=params["seed"],
+    )
+
+
+def _run_fault_width_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    set_global_seed(params.get("seed"))
+    from .faults import fault_width_cell
+
+    return fault_width_cell(
+        params["network"], params["width"], ratio=params["ratio"], seed=params["seed"]
+    )
+
+
+register_cell_runner("breakdown", _run_breakdown_cell)
+register_cell_runner("fault_rate", _run_fault_rate_cell)
+register_cell_runner("fault_width", _run_fault_width_cell)
+
+
+def breakdown_plan(
+    network: str,
+    ratio: float = 0.03,
+    seed: Optional[int] = None,
+    experiment: str = "compare",
+    description: str = "",
+) -> SweepPlan:
+    """One cell per accelerator of a Figs. 11-13 / ``compare`` breakdown."""
+    from .experiments import ALL_ACCELERATORS
+
+    params = {"network": network, "ratio": float(ratio)}
+    cells = [
+        CellSpec(
+            cell_id=kind,
+            kind="breakdown",
+            params={"accelerator": kind, "network": network, "ratio": float(ratio), "seed": seed},
+        )
+        for kind in ALL_ACCELERATORS
+    ]
+    return SweepPlan(
+        plan="breakdown",
+        experiment=experiment,
+        description=description or f"cycle/energy breakdown for {network}",
+        seed=seed,
+        params=params,
+        cells=cells,
+    )
+
+
+def _assemble_breakdown(plan: SweepPlan, records: Dict[str, Dict[str, Any]]):
+    from .experiments import BreakdownResult
+    from .serialize import run_stats_from_dict
+
+    result = BreakdownResult(network=plan.params["network"])
+    for spec in plan.cells:
+        record = records.get(spec.cell_id)
+        if record is not None and record.get("status") == "ok":
+            result.runs[spec.cell_id] = run_stats_from_dict(record["result"])
+        else:
+            error = (record or {}).get("error") or CellError(
+                "cell record missing", cell_id=spec.cell_id, kind="crash"
+            ).to_dict()
+            result.failures[spec.cell_id] = error
+    return result
+
+
+def faults_plan(
+    network: str,
+    rates: Sequence[float],
+    widths: Sequence[int],
+    policy: str = "degrade",
+    model: str = "bitflip",
+    ratio: float = 0.03,
+    seed: Optional[int] = None,
+) -> SweepPlan:
+    """One cell per rate point and per width point of ``repro faults``."""
+    from .seeding import resolve_seed
+
+    seed = resolve_seed(seed, default=0)
+    params = {
+        "network": network,
+        "rates": [float(r) for r in rates],
+        "widths": [int(w) for w in widths],
+        "policy": policy,
+        "model": model,
+        "ratio": float(ratio),
+    }
+    cells = [
+        CellSpec(
+            cell_id=f"rate-{float(rate):g}",
+            kind="fault_rate",
+            params={
+                "network": network,
+                "rate": float(rate),
+                "policy": policy,
+                "model": model,
+                "ratio": float(ratio),
+                "seed": seed,
+            },
+        )
+        for rate in rates
+    ] + [
+        CellSpec(
+            cell_id=f"width-{int(width)}",
+            kind="fault_width",
+            params={"network": network, "width": int(width), "ratio": float(ratio), "seed": seed},
+        )
+        for width in widths
+    ]
+    return SweepPlan(
+        plan="faults",
+        experiment="faults",
+        description=f"fault-rate + accumulator-width sweep for {network}",
+        seed=seed,
+        params=params,
+        cells=cells,
+    )
+
+
+def _assemble_faults(plan: SweepPlan, records: Dict[str, Dict[str, Any]]):
+    from .faults import FaultSweepResult, fault_case
+
+    p = plan.params
+    _, _, stats, required = fault_case(p["network"], p["ratio"], plan.seed)
+    result = FaultSweepResult(
+        network=p["network"],
+        policy=p["policy"],
+        model=p["model"],
+        seed=plan.seed,
+        case=stats,
+        required_bits=required,
+    )
+    for spec in plan.cells:
+        record = records.get(spec.cell_id)
+        if record is not None and record.get("status") == "ok":
+            if spec.kind == "fault_rate":
+                result.rate_rows.append(record["result"])
+            else:
+                result.width_rows.append(record["result"])
+        else:
+            result.failures.append(
+                (record or {}).get("error")
+                or CellError("cell record missing", cell_id=spec.cell_id, kind="crash").to_dict()
+            )
+    return result
+
+
+PLAN_ASSEMBLERS["breakdown"] = _assemble_breakdown
+PLAN_ASSEMBLERS["faults"] = _assemble_faults
+
+
+# ---------------------------------------------------------------------------
+# Run directory: manifest + per-cell checkpoint records
+# ---------------------------------------------------------------------------
+
+
+def _cell_filename(cell_id: str) -> str:
+    safe = "".join(c if (c.isalnum() or c in "._=-") else "_" for c in cell_id)
+    return f"{safe}.json"
+
+
+class RunDir:
+    """The on-disk checkpoint of one sweep (docs/RESILIENCE.md layout)."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._written = 0
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / CELLS_DIR
+
+    @property
+    def envelope_path(self) -> Path:
+        return self.root / ENVELOPE_NAME
+
+    def cell_path(self, cell_id: str) -> Path:
+        return self.cells_dir / _cell_filename(cell_id)
+
+    # -- manifest -----------------------------------------------------------
+
+    def init(self, plan: SweepPlan, verify: bool = True) -> Tuple[Dict[str, Any], bool]:
+        """Create the manifest, or validate against an existing one.
+
+        Returns ``(manifest, resumed)``. An existing manifest whose
+        ``config_hash`` differs from the plan's is a different sweep —
+        refusing beats silently mixing two runs' cells.
+        """
+        if self.manifest_path.exists():
+            manifest = self.load_manifest(verify=verify)
+            if manifest["config_hash"] != plan.config_hash():
+                raise ArtifactIntegrityError(
+                    "run directory belongs to a different sweep configuration",
+                    path=str(self.manifest_path),
+                    reason="manifest_mismatch",
+                )
+            return manifest, True
+        manifest = {
+            "schema": RUN_SCHEMA,
+            "schema_version": 1,
+            "run_id": uuid.uuid4().hex[:12],
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "volatile": list(VOLATILE_FIELDS),
+            "plan": plan.plan,
+            "experiment": plan.experiment,
+            "description": plan.description,
+            "seed": plan.seed,
+            "params": plan.params,
+            "config_hash": plan.config_hash(),
+            "cells": [c.to_dict() for c in plan.cells],
+        }
+        self.cells_dir.mkdir(parents=True, exist_ok=True)
+        save_json(manifest, self.manifest_path)
+        return manifest, False
+
+    def load_manifest(self, verify: bool = True) -> Dict[str, Any]:
+        if not self.manifest_path.exists():
+            raise ArtifactIntegrityError(
+                "no manifest — not a run directory",
+                path=str(self.manifest_path),
+                reason="unreadable",
+            )
+        manifest = load_json(self.manifest_path, verify=verify)
+        if manifest.get("schema") != RUN_SCHEMA:
+            raise ArtifactIntegrityError(
+                f"unknown manifest schema {manifest.get('schema')!r}",
+                path=str(self.manifest_path),
+                reason="manifest_mismatch",
+            )
+        return manifest
+
+    def plan_from_manifest(self, manifest: Dict[str, Any]) -> SweepPlan:
+        return SweepPlan(
+            plan=manifest["plan"],
+            experiment=manifest["experiment"],
+            description=manifest["description"],
+            seed=manifest["seed"],
+            params=manifest["params"],
+            cells=[CellSpec.from_dict(c) for c in manifest["cells"]],
+        )
+
+    # -- cell records -------------------------------------------------------
+
+    def write_cell(
+        self,
+        spec: CellSpec,
+        status: str,
+        result: Any = None,
+        error: Optional[Dict[str, Any]] = None,
+        attempts: int = 1,
+    ) -> Tuple[Dict[str, Any], Path]:
+        record = {
+            "schema": CELL_SCHEMA,
+            "cell_id": spec.cell_id,
+            "kind": spec.kind,
+            "status": status,
+            "attempts": attempts,
+            "result": result,
+            "error": error,
+        }
+        path = save_json(record, self.cell_path(spec.cell_id))
+        self._written += 1
+        kill_after = os.environ.get(KILL_AFTER_ENV)
+        if kill_after and self._written >= int(kill_after):
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here
+        return record, path
+
+    def read_cells(self, plan: SweepPlan, verify: bool = True) -> Dict[str, Dict[str, Any]]:
+        """All readable, digest-valid records keyed by cell id.
+
+        A truncated or tampered record is treated as missing — the cell
+        simply re-executes — rather than poisoning the resume.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        for spec in plan.cells:
+            path = self.cell_path(spec.cell_id)
+            if not path.exists():
+                continue
+            try:
+                record = load_json(path, verify=verify)
+            except ArtifactIntegrityError:
+                continue
+            if record.get("schema") == CELL_SCHEMA and record.get("cell_id") == spec.cell_id:
+                records[spec.cell_id] = record
+        return records
+
+
+# ---------------------------------------------------------------------------
+# Supervised worker pool
+# ---------------------------------------------------------------------------
+
+
+def _cell_worker(conn, kind: str, params: Dict[str, Any]) -> None:
+    """Child-process entry: run one cell, ship (status, payload) back."""
+    try:
+        runner = CELL_RUNNERS.get(kind)
+        if runner is None:
+            conn.send(("error", f"no cell runner registered for kind {kind!r}"))
+            return
+        from .serialize import to_jsonable
+
+        conn.send(("ok", to_jsonable(runner(params))))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _terminate(proc) -> None:
+    proc.terminate()
+    proc.join(5)
+    if proc.is_alive():  # pragma: no cover - stuck in uninterruptible state
+        proc.kill()
+        proc.join()
+
+
+def _execute_cells(
+    specs: Sequence[CellSpec],
+    jobs: int,
+    retry: RetryPolicy,
+    on_done: Callable[[CellSpec, str, Any, int], None],
+    obs: Registry,
+) -> Dict[str, Tuple[str, Any, int]]:
+    """Run cells on up to ``jobs`` supervised worker processes.
+
+    Each cell gets its own short-lived process (fork where available),
+    so a crashed or hung worker is terminated and retried without
+    corrupting a shared pool. ``on_done`` fires once per cell with its
+    final status (``ok``/``failed``) — that is the checkpoint hook.
+    """
+    ctx = pool_context()
+    results: Dict[str, Tuple[str, Any, int]] = {}
+    queue = deque((spec, 1) for spec in specs)
+    backlog: List[Tuple[float, int, CellSpec, int]] = []  # (ready, tiebreak, spec, attempt)
+    tiebreak = itertools.count()
+    active: Dict[str, Tuple[Any, Any, CellSpec, int, float]] = {}
+    jobs = max(1, int(jobs))
+
+    def finish(spec: CellSpec, status: str, payload: Any, attempt: int) -> None:
+        if status == "ok":
+            obs.counter("resilience/cells_succeeded").add()
+        else:
+            obs.counter("resilience/cells_failed").add()
+        results[spec.cell_id] = (status, payload, attempt)
+        on_done(spec, status, payload, attempt)
+
+    try:
+        while queue or backlog or active:
+            now = time.monotonic()
+            while backlog and backlog[0][0] <= now:
+                _, _, spec, attempt = heapq.heappop(backlog)
+                queue.append((spec, attempt))
+            while queue and len(active) < jobs:
+                spec, attempt = queue.popleft()
+                recv, send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_cell_worker, args=(send, spec.kind, spec.params), daemon=True
+                )
+                proc.start()
+                send.close()
+                active[spec.cell_id] = (proc, recv, spec, attempt, time.monotonic())
+                obs.counter("resilience/attempts").add()
+            if not active:
+                if backlog:
+                    time.sleep(max(0.0, min(0.05, backlog[0][0] - time.monotonic())))
+                continue
+
+            multiprocessing.connection.wait(
+                [proc.sentinel for proc, _, _, _, _ in active.values()], timeout=0.05
+            )
+            for cell_id in list(active):
+                proc, recv, spec, attempt, started = active[cell_id]
+                timed_out = (
+                    retry.timeout_s is not None
+                    and (time.monotonic() - started) > retry.timeout_s
+                )
+                if proc.is_alive() and not timed_out:
+                    continue
+                if proc.is_alive():
+                    _terminate(proc)
+                    obs.counter("resilience/timeouts").add()
+                    outcome = ("timeout", f"cell exceeded its {retry.timeout_s:g}s timeout")
+                else:
+                    proc.join()
+                    message = None
+                    try:
+                        if recv.poll():
+                            message = recv.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    if message is not None and message[0] == "ok":
+                        outcome = ("ok", message[1])
+                    elif message is not None:
+                        outcome = ("exception", message[1])
+                    else:
+                        outcome = (
+                            "crash",
+                            f"worker died (exit code {proc.exitcode}) before reporting",
+                        )
+                recv.close()
+                del active[cell_id]
+
+                status, payload = outcome
+                if status == "ok":
+                    finish(spec, "ok", payload, attempt)
+                elif attempt < retry.max_attempts:
+                    obs.counter("resilience/retries").add()
+                    heapq.heappush(
+                        backlog,
+                        (time.monotonic() + retry.backoff(attempt), next(tiebreak), spec, attempt + 1),
+                    )
+                else:
+                    error = CellError(
+                        str(payload), cell_id=spec.cell_id, kind=status, attempts=attempt
+                    )
+                    finish(spec, "failed", error.to_dict(), attempt)
+    except BaseException:
+        # Clean teardown on Ctrl-C / SIGTERM / anything: no orphan
+        # workers, and every completed cell is already checkpointed.
+        for proc, recv, _, _, _ in active.values():
+            _terminate(proc)
+            recv.close()
+        raise
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Top-level execution + resume
+# ---------------------------------------------------------------------------
+
+
+def execute_sweep(
+    plan: SweepPlan,
+    run_dir: Union[str, Path],
+    jobs: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    obs: Optional[Registry] = None,
+    verify: bool = True,
+):
+    """Run (or continue) a checkpointed sweep; returns the assembled pieces.
+
+    Returns ``(result, envelope, manifest, records)`` where ``result``
+    is the experiment's normal result object (with failures recorded
+    structurally) and ``envelope`` the final versioned document, also
+    written atomically to ``<run-dir>/envelope.json``.
+    """
+    retry = retry if retry is not None else RetryPolicy()
+    obs = obs if obs is not None else NULL_REGISTRY
+    rd = RunDir(run_dir)
+    manifest, resumed = rd.init(plan, verify=verify)
+
+    done = {
+        cid: rec
+        for cid, rec in rd.read_cells(plan, verify=verify).items()
+        if rec.get("status") == "ok"
+    }
+    pending = [spec for spec in plan.cells if spec.cell_id not in done]
+
+    obs.counter("resilience/cells_total").add(len(plan.cells))
+    obs.counter("resilience/cells_skipped").add(len(done))
+    obs.counter("resilience/cells_attempted").add(len(pending))
+    if resumed:
+        obs.counter("resilience/cells_resumed").add(len(pending))
+
+    records: Dict[str, Dict[str, Any]] = dict(done)
+
+    def on_done(spec: CellSpec, status: str, payload: Any, attempts: int) -> None:
+        if status == "ok":
+            record, _ = rd.write_cell(spec, "ok", result=payload, attempts=attempts)
+        else:
+            record, _ = rd.write_cell(spec, "failed", error=payload, attempts=attempts)
+        records[spec.cell_id] = record
+
+    if pending:
+        _sigterm_guard(
+            lambda: _execute_cells(pending, jobs=jobs, retry=retry, on_done=on_done, obs=obs)
+        )
+
+    result = PLAN_ASSEMBLERS[plan.plan](plan, records)
+    envelope = _resilient_envelope(plan, result, manifest, records)
+    save_json(envelope, rd.envelope_path)
+    return result, envelope, manifest, records
+
+
+def resume_run(
+    run_dir: Union[str, Path],
+    jobs: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    obs: Optional[Registry] = None,
+    verify: bool = True,
+):
+    """Re-execute only the missing/failed cells of an interrupted sweep."""
+    rd = RunDir(run_dir)
+    manifest = rd.load_manifest(verify=verify)
+    plan = rd.plan_from_manifest(manifest)
+    set_global_seed(plan.seed)
+    return execute_sweep(plan, run_dir, jobs=jobs, retry=retry, obs=obs, verify=verify)
+
+
+def _sigterm_guard(work: Callable[[], Any]) -> Any:
+    """Run ``work`` with SIGTERM mapped to KeyboardInterrupt.
+
+    Supervisors (CI, schedulers, ``kill``) speak SIGTERM; mapping it to
+    the same teardown path as Ctrl-C means workers are terminated and
+    joined and the checkpoint stays consistent either way.
+    """
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    installed = False
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+        installed = True
+    except ValueError:  # not the main thread; rely on KeyboardInterrupt alone
+        previous = None
+    try:
+        return work()
+    finally:
+        if installed:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def _resilient_envelope(
+    plan: SweepPlan,
+    result: Any,
+    manifest: Dict[str, Any],
+    records: Dict[str, Dict[str, Any]],
+) -> Dict[str, Any]:
+    failed = [
+        records[spec.cell_id]["error"]
+        for spec in plan.cells
+        if spec.cell_id in records and records[spec.cell_id].get("status") != "ok"
+    ]
+    missing = [spec.cell_id for spec in plan.cells if spec.cell_id not in records]
+    envelope = experiment_envelope(plan.experiment, result, plan.description)
+    envelope["resilience"] = {
+        "run_id": manifest["run_id"],
+        "created": manifest["created"],
+        "config_hash": manifest["config_hash"],
+        "volatile": [f"resilience/{name}" for name in VOLATILE_FIELDS],
+        "cells_total": len(plan.cells),
+        "cells_failed": len(failed) + len(missing),
+        "failures": failed + [
+            CellError("cell record missing", cell_id=cid, kind="crash").to_dict()
+            for cid in missing
+        ],
+    }
+    return envelope
+
+
+def canonical_envelope_bytes(envelope: Dict[str, Any], volatile: Optional[Sequence[str]] = None) -> bytes:
+    """The envelope's canonical bytes with volatile fields removed.
+
+    Two runs of the same sweep — uninterrupted, or killed and resumed —
+    must produce identical bytes here; the kill-resume equivalence
+    tests assert exactly that. ``volatile`` defaults to the paths the
+    envelope itself declares under ``resilience/volatile``.
+    """
+    doc = {k: v for k, v in envelope.items() if k != INTEGRITY_KEY}
+    if volatile is None:
+        volatile = doc.get("resilience", {}).get("volatile", [])
+    doc = copy.deepcopy(doc)
+    for path in volatile:
+        node = doc
+        parts = path.split("/")
+        for part in parts[:-1]:
+            node = node.get(part, {}) if isinstance(node, dict) else {}
+        if isinstance(node, dict):
+            node.pop(parts[-1], None)
+    return _canonical_dumps(doc).encode()

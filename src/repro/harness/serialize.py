@@ -14,12 +14,25 @@ docs/EXPERIMENTS.md):
 - the **run-stats document** (``RunStats.to_dict`` in
   ``repro.arch.stats``) — one accelerator x network simulation with
   per-layer rows, lossless through ``run_stats_from_dict``.
+
+All writers here are **atomic and checksummed** (docs/RESILIENCE.md):
+content goes to a temp file in the target directory, is fsync'd, then
+renamed over the destination, so an interrupt never leaves a
+half-written artifact. JSON documents embed a SHA-256 content digest
+under ``"__integrity__"`` which :func:`load_json` verifies (and strips)
+on read; CSV files get a ``<name>.sha256`` sidecar. A truncated or
+tampered artifact is rejected with a structured
+:class:`~repro.errors.ArtifactIntegrityError` naming the path and the
+failed check, never a raw ``JSONDecodeError``.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
+import io
 import json
+import os
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Union
@@ -27,16 +40,21 @@ from typing import Any, Dict, Iterable, List, Union
 import numpy as np
 
 from ..arch.stats import LayerStats, RunStats, STATS_SCHEMA_VERSION
+from ..errors import ArtifactIntegrityError
 
 __all__ = [
     "EXPERIMENT_SCHEMA",
     "SCHEMA_VERSION",
+    "INTEGRITY_KEY",
     "to_jsonable",
+    "atomic_write_text",
+    "content_digest",
     "save_json",
     "load_json",
     "run_stats_rows",
     "run_stats_from_dict",
     "save_csv",
+    "load_csv",
     "experiment_envelope",
     "experiment_csv_rows",
 ]
@@ -44,6 +62,9 @@ __all__ = [
 #: Version of the experiment-envelope schema written by ``repro run --json``.
 SCHEMA_VERSION = 1
 EXPERIMENT_SCHEMA = f"repro.experiment/v{SCHEMA_VERSION}"
+
+#: Key under which JSON documents carry their embedded content digest.
+INTEGRITY_KEY = "__integrity__"
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -72,18 +93,108 @@ def _key(key: Any) -> str:
     return str(key)
 
 
-def save_json(obj: Any, path: Union[str, Path]) -> Path:
-    """Serialize a result object to a JSON file; returns the path."""
+def atomic_write_text(text: str, path: Union[str, Path]) -> Path:
+    """Write ``text`` to ``path`` with write-to-temp + fsync + rename.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem atomic rename: readers see
+    either the previous complete artifact or the new complete one,
+    never a truncated intermediate. The directory entry is fsync'd
+    best-effort afterwards so the rename itself survives a crash.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(to_jsonable(obj), handle, indent=2, sort_keys=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", newline="") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:  # persist the rename; not all filesystems allow dir fsync
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
     return path
 
 
-def load_json(path: Union[str, Path]) -> Any:
-    with open(path) as handle:
-        return json.load(handle)
+def _canonical_dumps(doc: Any) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def content_digest(doc: Any) -> str:
+    """SHA-256 hex digest of a document's canonical JSON form.
+
+    For dicts the embedded ``__integrity__`` block is excluded, so the
+    digest of a loaded document reproduces the digest it was saved with.
+    """
+    if isinstance(doc, dict):
+        doc = {k: v for k, v in doc.items() if k != INTEGRITY_KEY}
+    return hashlib.sha256(_canonical_dumps(doc).encode()).hexdigest()
+
+
+def save_json(obj: Any, path: Union[str, Path], digest: bool = True) -> Path:
+    """Atomically serialize a result object to a JSON file.
+
+    Dict documents additionally embed ``{"__integrity__": {"algo":
+    "sha256", "digest": ...}}`` over their canonical content, which
+    :func:`load_json` verifies and strips. Non-dict payloads (bare
+    lists/scalars) have nowhere to embed a digest and are written
+    plain.
+    """
+    doc = to_jsonable(obj)
+    if digest and isinstance(doc, dict):
+        doc = dict(doc)
+        doc[INTEGRITY_KEY] = {"algo": "sha256", "digest": content_digest(doc)}
+    return atomic_write_text(_canonical_dumps(doc), path)
+
+
+def load_json(path: Union[str, Path], verify: bool = True) -> Any:
+    """Load a JSON artifact, verifying (and stripping) its digest.
+
+    A file that does not parse — the signature of a torn non-atomic
+    write — raises :class:`ArtifactIntegrityError` with the path and
+    parse position rather than a raw ``JSONDecodeError``; a digest
+    mismatch likewise. ``verify=False`` (the CLI's ``--no-verify``)
+    skips the digest check but still strips the key.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ArtifactIntegrityError(
+            f"cannot read artifact: {exc}", path=str(path), reason="unreadable"
+        ) from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactIntegrityError(
+            f"artifact is not valid JSON (truncated or torn write?): {exc}",
+            path=str(path),
+            reason="truncated",
+        ) from exc
+    if isinstance(doc, dict) and INTEGRITY_KEY in doc:
+        declared = doc.pop(INTEGRITY_KEY)
+        if verify:
+            expected = declared.get("digest") if isinstance(declared, dict) else None
+            actual = content_digest(doc)
+            if expected != actual:
+                raise ArtifactIntegrityError(
+                    f"content digest mismatch: declared {expected!r}, computed {actual!r}",
+                    path=str(path),
+                    reason="digest_mismatch",
+                )
+    return doc
 
 
 def run_stats_rows(run: RunStats) -> List[Dict[str, Any]]:
@@ -167,15 +278,48 @@ def experiment_csv_rows(result: Any) -> List[Dict[str, Any]]:
     return rows
 
 
-def save_csv(rows: Iterable[Dict[str, Any]], path: Union[str, Path]) -> Path:
-    """Write an iterable of uniform dict rows as CSV; returns the path."""
+def save_csv(rows: Iterable[Dict[str, Any]], path: Union[str, Path], digest: bool = True) -> Path:
+    """Atomically write uniform dict rows as CSV; returns the path.
+
+    CSV has no in-band place for metadata, so the SHA-256 content
+    digest goes to a ``<name>.sha256`` sidecar (``sha256sum`` format)
+    that :func:`load_csv` verifies when present.
+    """
     rows = list(rows)
     if not rows:
         raise ValueError("no rows to write")
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
-        writer.writeheader()
-        writer.writerows(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    text = buffer.getvalue()
+    atomic_write_text(text, path)
+    if digest:
+        checksum = hashlib.sha256(text.encode()).hexdigest()
+        atomic_write_text(f"{checksum}  {path.name}\n", path.with_suffix(path.suffix + ".sha256"))
     return path
+
+
+def load_csv(path: Union[str, Path], verify: bool = True) -> List[Dict[str, str]]:
+    """Read a CSV artifact back as dict rows, checking its sidecar digest."""
+    path = Path(path)
+    try:
+        # bytes, not read_text(): universal-newline translation would
+        # change the \r\n the csv writer emits and break the digest
+        text = path.read_bytes().decode()
+    except OSError as exc:
+        raise ArtifactIntegrityError(
+            f"cannot read artifact: {exc}", path=str(path), reason="unreadable"
+        ) from exc
+    sidecar = path.with_suffix(path.suffix + ".sha256")
+    if verify and sidecar.exists():
+        declared = sidecar.read_text().split()[0] if sidecar.read_text().split() else ""
+        actual = hashlib.sha256(text.encode()).hexdigest()
+        if declared != actual:
+            raise ArtifactIntegrityError(
+                f"content digest mismatch: declared {declared!r}, computed {actual!r}",
+                path=str(path),
+                reason="digest_mismatch",
+            )
+    return list(csv.DictReader(io.StringIO(text)))

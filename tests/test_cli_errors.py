@@ -1,0 +1,81 @@
+"""CLI error-path coverage: unknown ids, bad flag values, refused
+overwrites, and the resilience verbs' usage errors. Everything here
+must exit 2 (usage/diagnosed error) without a traceback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.workloads import MEMORY_TABLE
+
+
+class TestUnknownIds:
+    def test_run_unknown_experiment_lists_available(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig11" in err
+
+    @pytest.mark.parametrize("verb", ["compare", "profile", "faults"])
+    def test_unknown_network_lists_available(self, verb, capsys):
+        assert main([verb, "nonesuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown network" in err
+        for network in MEMORY_TABLE:
+            assert network in err
+
+    def test_export_unknown_network(self, capsys, tmp_path):
+        assert main(["export", "nonesuch", "--out", str(tmp_path)]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+
+class TestBadFlagValues:
+    """--jobs/--retries are validated at parse time (argparse exits 2)."""
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "1.5", "two"])
+    def test_bad_jobs_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["run", "fig11", "--jobs", bad])
+        assert exit_info.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "x"])
+    def test_bad_retries_rejected(self, bad, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["faults", "alexnet", "--retries", bad])
+        assert exit_info.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_good_jobs_parse(self):
+        args = build_parser().parse_args(["run", "fig11", "--jobs", "4"])
+        assert args.jobs == 4
+
+
+class TestRunDirUsage:
+    def test_run_dir_requires_sweepable_experiment(self, capsys, tmp_path):
+        assert main(["run", "fig1", "--run-dir", str(tmp_path / "r")]) == 2
+        assert "sweep-shaped" in capsys.readouterr().err
+
+    def test_run_dir_requires_single_experiment(self, capsys, tmp_path):
+        assert main(["run", "fig11", "fig12", "--run-dir", str(tmp_path / "r")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_resume_missing_manifest(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path / "empty")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestExportOverwrite:
+    def test_export_refuses_then_forces(self, capsys, tmp_path):
+        out = str(tmp_path / "results")
+        assert main(["export", "alexnet", "--out", out]) == 0
+        capsys.readouterr()
+        # second run without --force must refuse and name the files
+        assert main(["export", "alexnet", "--out", out]) == 2
+        err = capsys.readouterr().err
+        assert "refusing to overwrite" in err
+        assert "alexnet_layers.csv" in err
+        assert "--force" in err
+        # --force replaces them
+        assert main(["export", "alexnet", "--out", out, "--force"]) == 0
