@@ -15,6 +15,8 @@ Usage::
     python -m repro faults alexnet       # fault-rate + accumulator sweep
     python -m repro bench                # vectorized-vs-scalar benchmarks
     python -m repro export alexnet --out results/   # CSV + JSON breakdown
+    python -m repro run fig11 --cache-dir ~/.repro-cache   # warm reruns
+    python -m repro cache stats --cache-dir ~/.repro-cache # inspect it
 
 ``run``/``compare`` accept ``--json``/``--csv`` paths; ``profile`` and
 ``faults`` accept ``--json``. The JSON layout is the versioned
@@ -40,11 +42,22 @@ the missing/failed cells and reassembles the final envelope
 bit-identically to an uninterrupted run (``--no-verify`` skips the
 artifact digest checks). ``export`` refuses to overwrite existing
 artifacts unless ``--force`` is given.
+
+Sweep cells are additionally **memoized** (docs/PERFORMANCE.md):
+``run``/``compare``/``faults``/``bench``/``resume`` take ``--cache-dir
+DIR`` to persist every simulated cell content-addressed under DIR — a
+repeat invocation with the same configuration replays from the cache and
+produces a byte-identical envelope — and ``--no-cache`` to bypass
+memoization entirely. ``repro cache stats|clear|prune`` inspects and
+maintains the directory. Cache settings travel to ``--jobs`` workers via
+the ``REPRO_CACHE_DIR``/``REPRO_NO_CACHE`` environment variables, which
+the flags set.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List
@@ -82,6 +95,7 @@ from .harness.resilience import (
     resume_run,
 )
 from .harness.seeding import global_seed
+from .harness.simcache import CACHE_DIR_ENV, NO_CACHE_ENV, SimCache, set_active
 from .harness.workloads import MEMORY_TABLE
 from .faults.plan import FAULT_MODELS
 from .faults.validate import RECOVERY_POLICIES
@@ -308,6 +322,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    root = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        print(
+            "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    cache = SimCache(root=root)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache {stats['root']}: {stats['entries']} entries, {stats['bytes']} bytes")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {root}")
+        return 0
+    # prune
+    if args.max_bytes is None:
+        print("cache prune requires --max-bytes N", file=sys.stderr)
+        return 2
+    removed, remaining = cache.prune(args.max_bytes)
+    print(f"pruned {removed} entries; {remaining} bytes remain in {root}")
+    return 0
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     try:
         result, envelope, _, _ = resume_run(
@@ -385,6 +425,34 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist simulated cells content-addressed under DIR so "
+             "repeat invocations replay from the cache; shared safely "
+             "by --jobs workers (docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the simulation cache entirely (every cell recomputes)",
+    )
+
+
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    """Publish the cache flags as environment variables.
+
+    Env vars (not direct plumbing) so forked *and* spawned ``--jobs``
+    workers resolve the identical cache configuration, and so run-dir
+    manifests/cell params stay byte-identical whether or not a cache is
+    attached.
+    """
+    if getattr(args, "cache_dir", None):
+        os.environ[CACHE_DIR_ENV] = str(args.cache_dir)
+    if getattr(args, "no_cache", False):
+        os.environ[NO_CACHE_ENV] = "1"
+    set_active(None)
+
+
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--run-dir", metavar="DIR", default=None,
@@ -417,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_flag(run)
     _add_jobs_flag(run)
     _add_resilience_flags(run)
+    _add_cache_flags(run)
     run.set_defaults(func=_cmd_run)
 
     abl = sub.add_parser("ablations", help="design-choice ablations")
@@ -430,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_flag(cmp_)
     _add_jobs_flag(cmp_)
     _add_resilience_flags(cmp_)
+    _add_cache_flags(cmp_)
     cmp_.set_defaults(func=_cmd_compare)
 
     prof = sub.add_parser("profile", help="wall-clock + simulated-cycle profile")
@@ -466,12 +536,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_flag(faults)
     _add_jobs_flag(faults)
     _add_resilience_flags(faults)
+    _add_cache_flags(faults)
     faults.set_defaults(func=_cmd_faults)
 
     bench = sub.add_parser("bench", help="time vectorized hot paths vs slow_reference")
     bench.add_argument("--smoke", action="store_true", help="small inputs for CI smoke runs")
     _add_output_flags(bench, csv=False)
     _add_seed_flag(bench)
+    _add_cache_flags(bench)
     bench.set_defaults(func=_cmd_bench)
 
     resume = sub.add_parser(
@@ -492,7 +564,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="max attempts per cell incl. the first (default 3)",
     )
     _add_jobs_flag(resume)
+    _add_cache_flags(resume)
     resume.set_defaults(func=_cmd_resume)
+
+    cache = sub.add_parser("cache", help="inspect or maintain a simcache directory")
+    cache.add_argument("action", choices=["stats", "clear", "prune"],
+                       help="stats: entry/byte totals; clear: delete all "
+                            "entries; prune: evict LRU entries to --max-bytes")
+    cache.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="prune target: keep at most N bytes of entries",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     export = sub.add_parser("export", help="save a breakdown as CSV + JSON")
     export.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
@@ -509,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
     set_global_seed(getattr(args, "seed", None))
+    _apply_cache_flags(args)
     try:
         return args.func(args)
     except KeyboardInterrupt:

@@ -292,4 +292,84 @@ def run_benchmarks(smoke: bool = False, seed: Optional[int] = None) -> BenchResu
         meta={"convs": [list(c) for c in convs], "spatial": spatial},
     )
 
+    # -- event-driven cluster sim: vectorized vs scalar stepper -----------
+    from ..olaccel.event_sim import ClusterSim, passes_from_levels
+
+    n_passes = 200 if smoke else 2000
+    ev_levels = rng.integers(0, 16, size=(n_passes, 16))
+    ev_levels[rng.random(ev_levels.shape) < 0.5] = 0
+    ev_spills = rng.random(ev_levels.shape) < 0.1
+    ev_passes = passes_from_levels(ev_levels, ev_spills)
+    ev_outliers = n_passes // 4
+    paired(
+        "event_sim_cluster",
+        lambda: ClusterSim(n_groups=6).run(ev_passes, outlier_broadcasts=ev_outliers),
+        lambda: ClusterSim(n_groups=6).run(
+            ev_passes, outlier_broadcasts=ev_outliers, slow_reference=True
+        ),
+        fast_reps=3 if smoke else 5,
+        slow_reps=2,
+        meta={"passes": n_passes, "n_groups": 6, "outlier_broadcasts": ev_outliers},
+    )
+
+    # -- col2im scatter-add (conv backward dx) ----------------------------
+    # A small-slice shape, where the indexed scatter branch is active
+    # (larger slices fall back to the slice-add loop, which IS the
+    # slow_reference algorithm — a pair there would time itself).
+    from ..nn.functional import col2im, conv_out_size
+
+    c2i_n, c2i_c, c2i_h, c2i_k, c2i_s, c2i_p = (1, 2, 6, 5, 1, 2) if smoke else (1, 3, 8, 5, 2, 2)
+    c2i_oh = conv_out_size(c2i_h, c2i_k, c2i_s, c2i_p)
+    c2i_cols = rng.standard_normal((c2i_n * c2i_oh * c2i_oh, c2i_c * c2i_k * c2i_k))
+    c2i_shape = (c2i_n, c2i_c, c2i_h, c2i_h)
+    paired(
+        "col2im_backward",
+        lambda: col2im(c2i_cols, c2i_shape, c2i_k, c2i_k, c2i_s, c2i_p),
+        lambda: col2im(c2i_cols, c2i_shape, c2i_k, c2i_k, c2i_s, c2i_p, slow_reference=True),
+        fast_reps=20,
+        slow_reps=10,
+        meta={"x_shape": list(c2i_shape), "kernel": c2i_k, "stride": c2i_s, "pad": c2i_p},
+    )
+
+    # -- simcache: disk-warm sweep replay vs cold compute -----------------
+    # Fault cells are the expensive sweep cells (integer conv + golden
+    # reference per cell), so they give the honest warm-vs-cold ratio.
+    # Warm timings use a FRESH SimCache per repeat so they measure the
+    # verified disk reads, not the in-memory layer.
+    import shutil
+    import tempfile
+
+    from .faults import fault_rate_cell
+    from .simcache import SimCache
+
+    cache_rates = (0.0,) if smoke else (0.0, 1e-3, 1e-2)
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-simcache-")
+    try:
+
+        def cache_sweep(cache: SimCache) -> None:
+            for rate in cache_rates:
+                fault_rate_cell("alexnet", rate, seed=seed, cache=cache)
+
+        cold_best, _ = _time(
+            lambda: cache_sweep(SimCache(root=cache_root)), 1, obs, "simcache_warm_sweep/cold"
+        )
+        warm_reps = 3
+        warm_best, warm_mean = _time(
+            lambda: cache_sweep(SimCache(root=cache_root)), warm_reps, obs, "simcache_warm_sweep"
+        )
+        result.cases.append(
+            BenchCase(
+                name="simcache_warm_sweep",
+                repeats=warm_reps,
+                best_s=warm_best,
+                mean_s=warm_mean,
+                baseline_best_s=cold_best,
+                baseline_repeats=1,
+                speedup=cold_best / warm_best if warm_best > 0 else None,
+                meta={"cells": len(cache_rates), "cell": "fault_rate", "network": "alexnet"},
+            )
+        )
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
     return result

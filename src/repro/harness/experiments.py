@@ -49,6 +49,7 @@ from .seeding import resolve_seed
 from .workloads import memory_bytes, paper_workload
 
 __all__ = [
+    "simulate_cell",
     "fig1_weight_distributions",
     "fig2_accuracy_vs_ratio",
     "fig3_accuracy_networks",
@@ -80,6 +81,73 @@ def _simulator(kind: str, network: str, ratio: float = 0.03, obs=None):
         cfg = olaccel16(mem, ratio) if bits == 16 else olaccel8(mem, ratio)
         return OLAccelSimulator(cfg, obs=obs)
     raise ValueError(f"unknown accelerator kind {kind!r}")
+
+
+#: Per-process memo of workload content digests keyed (network, ratio).
+#: ``paper_workload`` is a pure function of its arguments, so one digest
+#: of its full layer-spec JSON identifies the workload in every cell key
+#: without re-canonicalizing the 20-odd layer dicts per lookup (the
+#: digest computation dominated the warm hit path otherwise).
+_WORKLOAD_DIGESTS: Dict[tuple, str] = {}
+
+
+def _workload_digest(network: str, ratio: float, workload) -> str:
+    from .serialize import content_digest, to_jsonable
+
+    key = (network, float(ratio))
+    digest = _WORKLOAD_DIGESTS.get(key)
+    if digest is None:
+        digest = content_digest({"layers": to_jsonable(workload)})
+        _WORKLOAD_DIGESTS[key] = digest
+    return digest
+
+
+def simulate_cell(kind: str, network: str, ratio: float = 0.03, jobs: int = 1, cache=None):
+    """Simulate one (accelerator, network) sweep cell through the simcache.
+
+    The cache key covers everything the result depends on: the
+    accelerator id and its full config dataclass (so quant bits, buffer
+    sizes and ablation switches each flip the key), a digest of the
+    network's full layer specs plus the outlier ratio, the stats schema
+    version, and the code-version salt (docs/PERFORMANCE.md). Results
+    decode through the lossless ``RunStats`` round-trip, so a warm cell
+    is byte-identical to a cold one. ``cache=None`` resolves the
+    process-wide cache (``--cache-dir``/``--no-cache`` via their
+    environment variables); ``jobs > 1`` computes misses on the
+    layer-parallel pool.
+    """
+    from .serialize import run_stats_from_dict
+    from .simcache import get_active
+
+    cache = cache if cache is not None else get_active()
+    sim = _simulator(kind, network, ratio)
+    workload = paper_workload(network, ratio=ratio)
+    from ..arch.stats import STATS_SCHEMA_VERSION
+
+    components = {
+        "cell": "breakdown",
+        "accelerator": kind,
+        "accel_config": sim.config,
+        "network": network,
+        "ratio": float(ratio),
+        "workload_digest": _workload_digest(network, ratio, workload),
+        "fault_plan": None,
+        "stats_schema": STATS_SCHEMA_VERSION,
+    }
+
+    def compute() -> RunStats:
+        if jobs > 1:
+            from .parallel import parallel_network_run
+
+            return parallel_network_run(kind, network, ratio=ratio, jobs=jobs)
+        return sim.simulate_network(workload)
+
+    return cache.memoize(
+        components,
+        compute,
+        encode=lambda run: run.to_dict(),
+        decode=run_stats_from_dict,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -389,15 +457,9 @@ def breakdown_experiment(network: str, ratio: float = 0.03, jobs: int = 1) -> Br
     :mod:`multiprocessing` pool (see :mod:`repro.harness.parallel`);
     results are bit-identical to the serial default.
     """
-    workload = paper_workload(network, ratio=ratio)
     result = BreakdownResult(network=network)
     for kind in ALL_ACCELERATORS:
-        if jobs > 1:
-            from .parallel import parallel_network_run
-
-            result.runs[kind] = parallel_network_run(kind, network, ratio=ratio, jobs=jobs)
-        else:
-            result.runs[kind] = _simulator(kind, network, ratio).simulate_network(workload)
+        result.runs[kind] = simulate_cell(kind, network, ratio=ratio, jobs=jobs)
     return result
 
 
@@ -448,7 +510,7 @@ def fig14_ratio_sweep(
             accuracy[ratio] = qm.topk_accuracy(data.test_x, data.test_y, k=5)
 
     for ratio in ratios:
-        run = _simulator("olaccel16", network, ratio).simulate_network(paper_workload(network, ratio=ratio))
+        run = simulate_cell("olaccel16", network, ratio=ratio)
         if base_run is None:
             base_run = run
         result.points.append(
@@ -487,9 +549,8 @@ def fig15_scalability(
     batches: Sequence[int] = (1, 4, 16),
 ) -> Fig15Result:
     """Speedup vs NPU count for OLAccel and ZeNA at several batch sizes."""
-    workload = paper_workload(network)
-    ol_run = _simulator("olaccel16", network).simulate_network(workload)
-    zena_run = _simulator("zena16", network).simulate_network(workload)
+    ol_run = simulate_cell("olaccel16", network)
+    zena_run = simulate_cell("zena16", network)
 
     zena_cycles = zena_run.total_cycles
     result = Fig15Result(network=network, npu_counts=tuple(npu_counts))

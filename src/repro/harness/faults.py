@@ -176,27 +176,49 @@ def fault_rate_cell(
     model: str = "bitflip",
     ratio: float = 0.03,
     seed: int = 0,
+    cache=None,
 ) -> Dict[str, float]:
-    """One rate-sweep row — an independent, checkpointable cell."""
-    acts, weights, _, _ = fault_case(network, ratio, seed)
-    run = faulty_olaccel_conv2d(
-        acts,
-        weights,
-        pad=1,
-        plan=FaultPlan(rate=float(rate), seed=seed, model=model),
-        policy=policy,
-    )
-    return {
-        "rate": float(rate),
-        "injected": run.injected,
-        "detected": run.detected,
-        "undetected": run.undetected,
-        "masked": run.masked,
-        "skipped": run.skipped,
-        "mismatch_fraction": run.mismatch_fraction,
-        "max_abs_error": run.max_abs_error,
-        "bit_exact": run.bit_exact,
+    """One rate-sweep row — an independent, checkpointable cell.
+
+    Memoized through the simcache: the key covers the full fault plan
+    (rate, model, seed), the recovery policy, the synthetic case
+    geometry and the network statistics it mirrors, so changing any of
+    them recomputes while a repeated sweep reuses the stored row.
+    """
+    from .simcache import get_active
+
+    cache = cache if cache is not None else get_active()
+    components = {
+        "cell": "fault_rate",
+        "network": network,
+        "ratio": float(ratio),
+        "case": dict(_CASE),
+        "fault_plan": {"rate": float(rate), "model": model, "seed": int(seed)},
+        "policy": policy,
     }
+
+    def compute() -> Dict[str, float]:
+        acts, weights, _, _ = fault_case(network, ratio, seed)
+        run = faulty_olaccel_conv2d(
+            acts,
+            weights,
+            pad=1,
+            plan=FaultPlan(rate=float(rate), seed=seed, model=model),
+            policy=policy,
+        )
+        return {
+            "rate": float(rate),
+            "injected": run.injected,
+            "detected": run.detected,
+            "undetected": run.undetected,
+            "masked": run.masked,
+            "skipped": run.skipped,
+            "mismatch_fraction": run.mismatch_fraction,
+            "max_abs_error": run.max_abs_error,
+            "bit_exact": run.bit_exact,
+        }
+
+    return cache.memoize(components, compute)
 
 
 def fault_width_cell(
@@ -204,24 +226,44 @@ def fault_width_cell(
     width: int,
     ratio: float = 0.03,
     seed: int = 0,
+    cache=None,
 ) -> Dict[str, float]:
-    """One accumulator-width row — an independent, checkpointable cell."""
-    acts, weights, _, _ = fault_case(network, ratio, seed)
-    run = faulty_olaccel_conv2d(
-        acts,
-        weights,
-        pad=1,
-        acc=AccumulatorModel(width_bits=int(width), mode="saturate"),
-        obs=Registry(),
-    )
-    return {
-        "width_bits": int(width),
-        "mode": "saturate",
-        "overflows": run.acc_overflows,
-        "mismatch_fraction": run.mismatch_fraction,
-        "max_abs_error": run.max_abs_error,
-        "bit_exact": run.bit_exact,
+    """One accumulator-width row — an independent, checkpointable cell.
+
+    Memoized like :func:`fault_rate_cell`; the accumulator width and
+    mode take the fault plan's place in the key.
+    """
+    from .simcache import get_active
+
+    cache = cache if cache is not None else get_active()
+    components = {
+        "cell": "fault_width",
+        "network": network,
+        "ratio": float(ratio),
+        "case": dict(_CASE),
+        "accumulator": {"width_bits": int(width), "mode": "saturate"},
+        "seed": int(seed),
     }
+
+    def compute() -> Dict[str, float]:
+        acts, weights, _, _ = fault_case(network, ratio, seed)
+        run = faulty_olaccel_conv2d(
+            acts,
+            weights,
+            pad=1,
+            acc=AccumulatorModel(width_bits=int(width), mode="saturate"),
+            obs=Registry(),
+        )
+        return {
+            "width_bits": int(width),
+            "mode": "saturate",
+            "overflows": run.acc_overflows,
+            "mismatch_fraction": run.mismatch_fraction,
+            "max_abs_error": run.max_abs_error,
+            "bit_exact": run.bit_exact,
+        }
+
+    return cache.memoize(components, compute)
 
 
 def fault_sweep(

@@ -171,12 +171,13 @@ def register_cell_runner(kind: str, runner: Callable[[Dict[str, Any]], Any]) -> 
 
 def _run_breakdown_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     set_global_seed(params.get("seed"))
-    from .experiments import _simulator
-    from .workloads import paper_workload
+    from .experiments import simulate_cell
 
     kind, network, ratio = params["accelerator"], params["network"], params["ratio"]
-    workload = paper_workload(network, ratio=ratio)
-    return _simulator(kind, network, ratio).simulate_network(workload).to_dict()
+    # Workers resolve the shared cache from the environment
+    # (REPRO_CACHE_DIR / REPRO_NO_CACHE), so a resumed or --jobs run
+    # treats warm cells exactly like completed ones: decode + reuse.
+    return simulate_cell(kind, network, ratio=ratio).to_dict()
 
 
 def _run_fault_rate_cell(params: Dict[str, Any]) -> Dict[str, Any]:

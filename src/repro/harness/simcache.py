@@ -1,0 +1,336 @@
+"""Persistent content-addressed cache of simulation cells (``simcache``).
+
+The sweep verbs (``run``, ``compare``, ``faults``) are grids of pure
+cells — one (accelerator config, network workload, quant config, fault
+plan, seed) point each — and most cells are bit-identical across
+invocations. This module memoizes them:
+
+- **Key** — a SHA-256 digest of the cell's canonical JSON *components*
+  (accelerator id + full config dataclass, layer specs, quant/outlier
+  parameters, seed-relevant inputs, fault plan) mixed with a
+  ``code_version`` salt (:data:`CODE_VERSION`); bump the salt whenever
+  simulator semantics change and every old entry silently misses.
+- **Value** — the cell's serialized result (``RunStats.to_dict`` /
+  fault-sweep row), stored one file per key under
+  ``<root>/<key[:2]>/<key>.json`` through the PR 4 artifact layer:
+  atomic temp+fsync+rename writes with an embedded ``__integrity__``
+  digest, verified on every read. A corrupt or truncated entry is a
+  structured **miss** (``simcache/corrupt`` counter + a
+  :class:`ChunkIntegrityError`-family warning naming the path and
+  reason) and the cell recomputes — never a wrong result.
+- **Layers** — every :class:`SimCache` holds a bounded in-process LRU
+  of decoded-entry payloads in front of the optional disk root, so one
+  invocation simulates each distinct cell at most once even without
+  ``--cache-dir``. Concurrent ``--jobs`` workers share the disk root
+  safely: writes are atomic renames and identical keys carry identical
+  bytes.
+
+Process-wide resolution (:func:`get_active`) honors the CLI flags via
+environment variables — ``REPRO_CACHE_DIR`` (sets the disk root) and
+``REPRO_NO_CACHE`` (every lookup bypasses) — so forked/spawned sweep
+workers inherit the caller's cache configuration without any change to
+run-dir manifests or cell params.
+
+Observability lands under ``simcache/*`` and reconciles exactly::
+
+    lookups == hits + misses + bypassed
+
+(docs/PERFORMANCE.md documents the full counter set and key schema).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import warnings
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from ..errors import ArtifactIntegrityError
+from ..obs import Registry, get_registry
+from .serialize import content_digest, load_json, save_json, to_jsonable
+
+__all__ = [
+    "SIMCACHE_SCHEMA",
+    "CODE_VERSION",
+    "CACHE_DIR_ENV",
+    "NO_CACHE_ENV",
+    "SimCache",
+    "get_active",
+    "set_active",
+    "cache_key",
+]
+
+SIMCACHE_SCHEMA = "repro.simcache/v1"
+
+#: Code-version salt folded into every key. Bump on any change to
+#: simulator/quantizer semantics so stale entries become misses.
+CODE_VERSION = "pr5-2026-08-05"
+
+#: Environment variables the CLI sets so worker processes (fork or
+#: spawn) resolve the same cache configuration as the parent.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+#: Default bound on the per-process in-memory entry layer.
+MEMORY_ENTRIES_DEFAULT = 1024
+
+
+def cache_key(components: Dict[str, Any], code_version: str = CODE_VERSION) -> str:
+    """Canonical content digest of a cell's key components.
+
+    ``components`` may contain dataclasses, numpy values, nested dicts —
+    anything :func:`~repro.harness.serialize.to_jsonable` accepts. The
+    ``code_version`` salt is folded in under its own key so semantic
+    changes to the simulators invalidate every prior entry at once.
+    """
+    doc = dict(to_jsonable(components))
+    doc["code_version"] = code_version
+    return content_digest(doc)
+
+
+class SimCache:
+    """A two-layer (memory LRU + optional disk root) simulation cache.
+
+    ``root=None`` keeps the cache memory-only (the default per-process
+    behavior: each distinct cell simulates at most once per
+    invocation). ``enabled=False`` turns every lookup into a counted
+    bypass — the ``--no-cache`` semantics.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        enabled: bool = True,
+        obs: Optional[Registry] = None,
+        memory_entries: int = MEMORY_ENTRIES_DEFAULT,
+    ):
+        self.root = Path(root) if root else None
+        self.enabled = enabled
+        self.memory_entries = max(1, int(memory_entries))
+        self._obs = obs
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def obs(self) -> Registry:
+        """The registry counters land in (process-global unless pinned)."""
+        return self._obs if self._obs is not None else get_registry()
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self.obs.counter(f"simcache/{name}").add(value)
+
+    # -- key/value plumbing -------------------------------------------------
+
+    def key(self, components: Dict[str, Any]) -> str:
+        return cache_key(components)
+
+    def entry_path(self, key: str) -> Optional[Path]:
+        """On-disk location for ``key`` (two-hex-char shard dirs)."""
+        if self.root is None:
+            return None
+        return self.root / key[:2] / f"{key}.json"
+
+    def _memory_get(self, key: str) -> Optional[Any]:
+        value = self._memory.get(key)
+        if value is not None:
+            self._memory.move_to_end(key)
+        return value
+
+    def _memory_put(self, key: str, encoded: Any) -> None:
+        self._memory[key] = encoded
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self._count("evictions")
+
+    def _disk_get(self, key: str) -> Optional[Any]:
+        path = self.entry_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            doc = load_json(path, verify=True)
+        except ArtifactIntegrityError as exc:
+            self._count("corrupt")
+            warnings.warn(
+                f"simcache entry {path} failed integrity verification "
+                f"({exc.reason}); treating as a miss and recomputing",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if doc.get("schema") != SIMCACHE_SCHEMA or doc.get("key") != key:
+            self._count("corrupt")
+            warnings.warn(
+                f"simcache entry {path} carries the wrong schema or key; "
+                "treating as a miss and recomputing",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return doc.get("value")
+
+    def _disk_put(self, key: str, encoded: Any, components: Dict[str, Any]) -> None:
+        path = self.entry_path(key)
+        if path is None:
+            return
+        doc = {
+            "schema": SIMCACHE_SCHEMA,
+            "key": key,
+            "components": to_jsonable(components),
+            "code_version": CODE_VERSION,
+            "value": encoded,
+        }
+        save_json(doc, path)
+        self._count("stores")
+
+    # -- the memoization entry point ---------------------------------------
+
+    def memoize(
+        self,
+        components: Dict[str, Any],
+        compute: Callable[[], Any],
+        encode: Optional[Callable[[Any], Any]] = None,
+        decode: Optional[Callable[[Any], Any]] = None,
+    ) -> Any:
+        """Return the cell's result, computing and storing it on a miss.
+
+        ``encode`` maps the computed value to its JSON-able stored form
+        (default :func:`to_jsonable`); ``decode`` maps the stored form
+        back to the caller's type. **Both the hit and the miss path
+        return ``decode(stored)``**, so cold and warm results are
+        identical by construction — a lossless ``encode``/``decode``
+        pair (e.g. ``RunStats.to_dict``/``from_dict``) makes warm
+        envelopes byte-identical to cold ones. ``decode`` receives a
+        fresh copy each call; cached state is never aliased to callers.
+
+        Every call counts one ``simcache/lookups`` plus exactly one of
+        ``hits``/``misses``/``bypassed``.
+        """
+        encode = encode if encode is not None else to_jsonable
+        decode = decode if decode is not None else (lambda doc: doc)
+        self._count("lookups")
+        if not self.enabled:
+            self._count("bypassed")
+            return decode(encode(compute()))
+        key = self.key(components)
+        encoded = self._memory_get(key)
+        if encoded is None:
+            encoded = self._disk_get(key)
+            if encoded is not None:
+                self._memory_put(key, encoded)
+        if encoded is not None:
+            self._count("hits")
+            return decode(copy.deepcopy(encoded))
+        self._count("misses")
+        encoded = encode(compute())
+        self._memory_put(key, encoded)
+        self._disk_put(key, encoded, components)
+        return decode(copy.deepcopy(encoded))
+
+    # -- maintenance (the ``repro cache`` verb) -----------------------------
+
+    def _entries(self):
+        """Yield ``(path, stat)`` for every on-disk entry."""
+        if self.root is None or not self.root.exists():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    yield path, path.stat()
+                except OSError:
+                    continue
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and byte totals for ``repro cache stats``."""
+        entries = 0
+        nbytes = 0
+        for _, st in self._entries():
+            entries += 1
+            nbytes += st.st_size
+        return {
+            "root": str(self.root) if self.root is not None else None,
+            "enabled": self.enabled,
+            "entries": entries,
+            "bytes": nbytes,
+            "memory_entries": len(self._memory),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (disk and memory); returns files removed."""
+        removed = 0
+        for path, _ in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        if self.root is not None and self.root.exists():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        self._memory.clear()
+        return removed
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """Evict least-recently-used entries until ≤ ``max_bytes`` remain.
+
+        Recency is the entry file's mtime (reads do not touch it, so
+        this is least-recently-*stored* on filesystems without atime).
+        Returns ``(removed, remaining_bytes)``.
+        """
+        entries = sorted(self._entries(), key=lambda e: (e[1].st_mtime, e[0]))
+        total = sum(st.st_size for _, st in entries)
+        removed = 0
+        for path, st in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= st.st_size
+            removed += 1
+            self._count("evictions")
+        return removed, total
+
+
+# ---------------------------------------------------------------------------
+# Process-wide active cache
+# ---------------------------------------------------------------------------
+
+_active: Optional[SimCache] = None
+_env_cache: Optional[SimCache] = None
+_env_snapshot: Optional[Tuple[str, str]] = None
+
+
+def set_active(cache: Optional[SimCache]) -> None:
+    """Pin the process-wide cache explicitly; ``None`` reverts to env."""
+    global _active
+    _active = cache
+
+
+def get_active() -> SimCache:
+    """The process-wide cache: explicit pin, else env-var resolution.
+
+    Without ``REPRO_CACHE_DIR``/``REPRO_NO_CACHE`` this is a memory-only
+    cache, so repeated cells within one invocation simulate once. The
+    resolved instance is kept until the environment changes, preserving
+    its memory layer across calls.
+    """
+    global _env_cache, _env_snapshot
+    if _active is not None:
+        return _active
+    snapshot = (os.environ.get(NO_CACHE_ENV, ""), os.environ.get(CACHE_DIR_ENV, ""))
+    if _env_cache is None or snapshot != _env_snapshot:
+        no_cache, root = snapshot
+        _env_cache = SimCache(root=root or None, enabled=not no_cache)
+        _env_snapshot = snapshot
+    return _env_cache

@@ -14,6 +14,8 @@ arithmetic).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 __all__ = [
@@ -47,6 +49,57 @@ def conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
     return out
 
 
+#: Bounded LRU of convolution coordinate tables keyed by
+#: (h, w, kernel_h, kernel_w, stride, pad). Each entry is a mutable
+#: ``[out_h, out_w, flat_indices_or_None]`` triple — the flat scatter
+#: indices into the padded plane are built lazily the first time the
+#: col2im fast path needs them, then reused by every backward pass that
+#: shares the layer geometry (networks repeat a handful of shapes).
+_COORD_CACHE: "OrderedDict[tuple, list]" = OrderedDict()
+_COORD_CACHE_MAX = 64
+
+#: col2im implementation crossover, in per-kernel-position slice
+#: elements (n*c*out_h*out_w). The K^2 blocked slice-adds cost roughly
+#: K^2 python dispatches plus the element traffic, so when each slice is
+#: tiny the dispatch overhead dominates and one indexed ``np.add.at``
+#: over the cached coordinate table wins (measured up to ~6x); once
+#: slices carry a few hundred elements the slice-adds win back (the
+#: scatter's index/copy traffic dominates, measured down to ~0.2x).
+_SCATTER_SLICE_LIMIT = 256
+
+
+def _coord_table(
+    h: int, w: int, kernel_h: int, kernel_w: int, stride: int, pad: int,
+    need_indices: bool = False,
+) -> list:
+    """The cached ``[out_h, out_w, flat_indices]`` entry for one geometry.
+
+    ``flat_indices`` (built only when ``need_indices``) maps each
+    (kh, kw, oh, ow) patch element, in that C-order, to its offset in the
+    flattened padded plane: ``(kh + stride*oh) * (w + 2*pad) +
+    (kw + stride*ow)``.
+    """
+    key = (h, w, kernel_h, kernel_w, stride, pad)
+    entry = _COORD_CACHE.get(key)
+    if entry is None:
+        out_h = conv_out_size(h, kernel_h, stride, pad)
+        out_w = conv_out_size(w, kernel_w, stride, pad)
+        entry = [out_h, out_w, None]
+        _COORD_CACHE[key] = entry
+    _COORD_CACHE.move_to_end(key)
+    while len(_COORD_CACHE) > _COORD_CACHE_MAX:
+        _COORD_CACHE.popitem(last=False)
+    if need_indices and entry[2] is None:
+        out_h, out_w = entry[0], entry[1]
+        pw = w + 2 * pad
+        kh = np.arange(kernel_h, dtype=np.int64)[:, None, None, None]
+        kw = np.arange(kernel_w, dtype=np.int64)[None, :, None, None]
+        oh = np.arange(out_h, dtype=np.int64)[None, None, :, None]
+        ow = np.arange(out_w, dtype=np.int64)[None, None, None, :]
+        entry[2] = ((kh + stride * oh) * pw + (kw + stride * ow)).ravel()
+    return entry
+
+
 def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int) -> np.ndarray:
     """Unfold ``x`` (N, C, H, W) into patch columns.
 
@@ -56,8 +109,7 @@ def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int) -
     simulators rely on this exact ordering.
     """
     n, c, h, w = x.shape
-    out_h = conv_out_size(h, kernel_h, stride, pad)
-    out_w = conv_out_size(w, kernel_w, stride, pad)
+    out_h, out_w, _ = _coord_table(h, w, kernel_h, kernel_w, stride, pad)
 
     if pad > 0:
         x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
@@ -81,24 +133,50 @@ def col2im(
     kernel_w: int,
     stride: int,
     pad: int,
+    slow_reference: bool = False,
 ) -> np.ndarray:
     """Inverse of :func:`im2col`: scatter-add patch columns back to an image.
 
     Overlapping patch contributions accumulate, which is exactly the adjoint
     of the unfold operation and therefore what the convolution backward pass
     needs.
+
+    Small-slice problems (see :data:`_SCATTER_SLICE_LIMIT`) take an
+    indexed ``np.add.at`` scatter over the cached coordinate table;
+    larger ones keep the blocked slice-add loop, which wins there. Both
+    accumulate each padded element's contributions in the same
+    (kh, kw)-major order, so the float rounding — and therefore every
+    downstream gradient — is bit-identical across paths;
+    ``slow_reference=True`` forces the loop for the equivalence tests.
     """
     n, c, h, w = x_shape
-    out_h = conv_out_size(h, kernel_h, stride, pad)
-    out_w = conv_out_size(w, kernel_w, stride, pad)
+    if slow_reference:
+        out_h = conv_out_size(h, kernel_h, stride, pad)
+        out_w = conv_out_size(w, kernel_w, stride, pad)
+    else:
+        out_h, out_w, _ = _coord_table(h, w, kernel_h, kernel_w, stride, pad)
 
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
-    patches = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 1, 2, 4, 5)
-    for kh in range(kernel_h):
-        h_end = kh + stride * out_h
-        for kw in range(kernel_w):
-            w_end = kw + stride * out_w
-            padded[:, :, kh:h_end:stride, kw:w_end:stride] += patches[:, :, :, :, kh, kw]
+    slice_elems = n * c * out_h * out_w
+    if not slow_reference and slice_elems <= _SCATTER_SLICE_LIMIT:
+        flat = _coord_table(h, w, kernel_h, kernel_w, stride, pad, need_indices=True)[2]
+        plane = (h + 2 * pad) * (w + 2 * pad)
+        updates = (
+            cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
+            .transpose(0, 3, 4, 5, 1, 2)
+            .reshape(n * c, -1)
+        )
+        buf = np.zeros(n * c * plane, dtype=cols.dtype)
+        base = np.arange(n * c, dtype=np.int64)[:, None] * plane
+        np.add.at(buf, base + flat[None, :], updates)
+        padded = buf.reshape(n, c, h + 2 * pad, w + 2 * pad)
+    else:
+        padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+        patches = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(0, 3, 1, 2, 4, 5)
+        for kh in range(kernel_h):
+            h_end = kh + stride * out_h
+            for kw in range(kernel_w):
+                w_end = kw + stride * out_w
+                padded[:, :, kh:h_end:stride, kw:w_end:stride] += patches[:, :, :, :, kh, kw]
 
     if pad > 0:
         return padded[:, :, pad:-pad, pad:-pad]

@@ -18,12 +18,27 @@ small layers, faithfully modelling:
 It exists to *cross-validate* the fast analytic model: tests drive both on
 identical workloads and require agreement, and
 :func:`simulate_layer_exact` runs real quantized tensors through it.
+
+Two execution paths produce bit-identical :class:`ClusterResult`\\ s
+(docs/PERFORMANCE.md):
+
+- the **scalar stepper** (``slow_reference=True``, or automatically
+  whenever an observability registry or tracer is attached, since those
+  need per-cycle histograms/events) walks every cycle of every group;
+- the **vectorized fast path** batches the whole run with numpy: the
+  per-pass micro-op schedule (quad zero-scan / broadcast / spill-stall)
+  collapses to three counted terms per pass, greedy queue dispatch
+  replays as a (next-free-cycle, group-index) heap, and the
+  accumulation backlog follows the Lindley recursion
+  ``Q_c = max(0, Q_{c-1} + arrivals_c - bandwidth)`` evaluated with a
+  cumulative-sum/running-minimum identity instead of a cycle loop.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,6 +101,7 @@ class PEGroupSim:
 
     def __init__(self) -> None:
         self._ops: List[str] = []
+        self._pos = 0
         self.busy_cycles = 0
         self.skip_cycles = 0
         self.run_cycles = 0
@@ -96,12 +112,13 @@ class PEGroupSim:
 
     @property
     def idle(self) -> bool:
-        return not self._ops
+        return self._pos >= len(self._ops)
 
     def start(self, work: PassDescriptor) -> None:
         if not self.idle:
             raise RuntimeError("group is busy")
         self._ops = _micro_schedule(work)
+        self._pos = 0
         if not self._ops:  # cannot happen: 4 quads always emit >= 4 ops
             self.completed_passes += 1
 
@@ -110,7 +127,8 @@ class PEGroupSim:
         if self.idle:
             return False
         self.busy_cycles += 1
-        op = self._ops.pop(0)
+        op = self._ops[self._pos]
+        self._pos += 1
         if op == _OP_SKIP:
             self.skip_cycles += 1
         else:
@@ -119,7 +137,7 @@ class PEGroupSim:
                 self.bcast_cycles += 1
             else:
                 self.stall_cycles += 1
-        if not self._ops:
+        if self.idle:
             self.completed_passes += 1
             return True
         return False
@@ -151,7 +169,11 @@ class ClusterSim:
     ``ops/bcast``, ``ops/stall``), per-cycle queue-depth and
     pending-result histograms, and tri-buffer occupancy; pass
     ``tracer=Tracer(...)`` for timestamped per-pass completion events.
-    Both default to shared no-ops.
+    Both default to shared no-ops. Attaching either forces the scalar
+    stepper (the fast path cannot reconstruct per-cycle samples);
+    otherwise :meth:`run` takes the vectorized path, which is
+    bit-identical — ``slow_reference=True`` forces the stepper for the
+    equivalence tests.
     """
 
     def __init__(
@@ -174,15 +196,27 @@ class ClusterSim:
         passes: Sequence[PassDescriptor],
         outlier_broadcasts: int = 0,
         max_cycles: int = 10_000_000,
+        slow_reference: bool = False,
     ) -> ClusterResult:
         """Run all passes to completion and return cycle statistics."""
+        if slow_reference or self.obs is not NULL_REGISTRY or self.tracer is not NULL_TRACER:
+            return self._run_scalar(passes, outlier_broadcasts, max_cycles)
+        return self._run_fast(passes, outlier_broadcasts, max_cycles)
+
+    # -- scalar reference stepper ------------------------------------------
+
+    def _run_scalar(
+        self,
+        passes: Sequence[PassDescriptor],
+        outlier_broadcasts: int = 0,
+        max_cycles: int = 10_000_000,
+    ) -> ClusterResult:
         queue: List[PassDescriptor] = list(passes)
         pending_results = 0  # group results waiting for the normal accum unit
         accumulated = 0
         stalls = 0
         outlier_left = int(outlier_broadcasts)
         outlier_done = 0
-        max_queue = len(queue)
         tri = TriBuffer()
         obs = self.obs
         tracer = self.tracer
@@ -227,12 +261,111 @@ class ClusterSim:
         else:
             raise RuntimeError(f"cluster did not converge within {max_cycles} cycles")
 
+        return self._finish(cycle, outlier_done, stalls, len(passes), tri.conflict_free)
+
+    # -- vectorized fast path ----------------------------------------------
+
+    def _run_fast(
+        self,
+        passes: Sequence[PassDescriptor],
+        outlier_broadcasts: int = 0,
+        max_cycles: int = 10_000_000,
+    ) -> ClusterResult:
+        """Batch the whole run with numpy; bit-identical to the stepper.
+
+        Per pass, the micro-op schedule reduces to counts — skips
+        (all-zero quads), broadcasts (nonzero lanes) and stalls (spilled
+        nonzero lanes) — whose sum is the pass length. Greedy per-cycle
+        dispatch of a static queue is equivalent to assigning each pass
+        to the earliest-free group (ties by group index), replayed with
+        a heap in O(P log G). Completions per cycle then feed the
+        accumulation queue's Lindley recursion, evaluated closed-form
+        with a cumulative sum and a running minimum.
+        """
+        n_passes = len(passes)
+        outlier_done = int(outlier_broadcasts)
+        n_groups = self.n_groups
+        bw = self.accumulation_bandwidth
+
+        if n_passes == 0:
+            cycles = outlier_done
+            if cycles >= max_cycles:
+                raise RuntimeError(f"cluster did not converge within {max_cycles} cycles")
+            return self._finish(cycles, outlier_done, 0, 0, True)
+
+        acts = np.asarray([p.activations for p in passes], dtype=np.int64)
+        spill = np.asarray([p.spill for p in passes], dtype=bool)
+        nonzero = acts != 0
+        bcast_p = nonzero.sum(axis=1)
+        stall_p = (spill & nonzero).sum(axis=1)
+        skip_p = (~nonzero.reshape(n_passes, LANES // 4, 4).any(axis=2)).sum(axis=1)
+        length_p = bcast_p + stall_p + skip_p
+
+        # Greedy dispatch replay: pass i starts the cycle its group frees.
+        finish_p = np.empty(n_passes, dtype=np.int64)
+        group_p = np.empty(n_passes, dtype=np.int64)
+        heap: List[Tuple[int, int]] = [(1, g) for g in range(n_groups)]
+        for i, length in enumerate(length_p):
+            free, g = heapq.heappop(heap)
+            finish = free + int(length) - 1
+            finish_p[i] = finish
+            group_p[i] = g
+            heapq.heappush(heap, (finish + 1, g))
+
+        last_finish = int(finish_p.max())
+        arrivals = np.bincount(finish_p, minlength=last_finish + 1)[1:]
+
+        # Accumulation backlog: Q_c = max(0, Q_{c-1} + a_c - bw) unrolls to
+        # S_c - min(0, min_{j<=c} S_j) with S_c = cumsum(a)_c - bw*c.
+        csum = np.cumsum(arrivals, dtype=np.int64)
+        s = csum - bw * np.arange(1, last_finish + 1, dtype=np.int64)
+        run_min = np.minimum(np.minimum.accumulate(s), 0)
+        q = s - run_min
+        q_prev = np.concatenate(([0], q[:-1]))
+        pending_before = q_prev + arrivals
+        stalls = int((pending_before > bw).sum())
+
+        # Drain the leftover backlog at bw per cycle, then the outlier tail.
+        q_final = int(q[-1])
+        drain = -(-q_final // bw)  # ceil
+        stalls += max(0, drain - 1)
+        cycles = max(last_finish + drain, outlier_done)
+        if cycles >= max_cycles:
+            raise RuntimeError(f"cluster did not converge within {max_cycles} cycles")
+
+        # Attribute per-group counters so repeated run() calls accumulate
+        # exactly like the stepper (ClusterSim instances are reusable).
+        for name, per_pass in (
+            ("busy_cycles", length_p),
+            ("skip_cycles", skip_p),
+            ("run_cycles", bcast_p + stall_p),
+            ("bcast_cycles", bcast_p),
+            ("stall_cycles", stall_p),
+            ("completed_passes", np.ones(n_passes, dtype=np.int64)),
+        ):
+            totals = np.bincount(group_p, weights=per_pass, minlength=n_groups)
+            for g, group in enumerate(self.groups):
+                setattr(group, name, getattr(group, name) + int(totals[g]))
+
+        return self._finish(cycles, outlier_done, stalls, n_passes, True)
+
+    # -- shared result assembly --------------------------------------------
+
+    def _finish(
+        self,
+        cycles: int,
+        outlier_done: int,
+        stalls: int,
+        n_passes: int,
+        conflict_free: bool,
+    ) -> ClusterResult:
         run = sum(g.run_cycles for g in self.groups)
         skip = sum(g.skip_cycles for g in self.groups)
         busy = sum(g.busy_cycles for g in self.groups)
         bcast = sum(g.bcast_cycles for g in self.groups)
         stall = sum(g.stall_cycles for g in self.groups)
-        idle = cycle * self.n_groups - busy
+        idle = cycles * self.n_groups - busy
+        obs = self.obs
         with obs.scope("ops"):
             obs.counter("skip").add(skip)
             obs.counter("bcast").add(bcast)
@@ -240,22 +373,22 @@ class ClusterSim:
         obs.counter("run_cycles").add(run)
         obs.counter("skip_cycles").add(skip)
         obs.counter("idle_cycles").add(idle)
-        obs.counter("cycles").add(cycle)
+        obs.counter("cycles").add(cycles)
         obs.counter("passes").add(sum(g.completed_passes for g in self.groups))
         obs.counter("outlier_broadcasts").add(outlier_done)
         obs.counter("accumulation_stalls").add(stalls)
         return ClusterResult(
-            cycles=cycle,
+            cycles=cycles,
             run_cycles=run,
             skip_cycles=skip,
             idle_cycles=idle,
             outlier_cycles=outlier_done,
             accumulation_stalls=stalls,
             passes=sum(g.completed_passes for g in self.groups),
-            tri_buffer_conflict_free=tri.conflict_free,
+            tri_buffer_conflict_free=conflict_free,
             bcast_cycles=bcast,
             stall_cycles=stall,
-            max_queue_depth=max_queue,
+            max_queue_depth=n_passes,
         )
 
 

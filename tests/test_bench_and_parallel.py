@@ -21,6 +21,9 @@ PAIRED_CASES = (
     "pack_activations",
     "unpack_activations",
     "e2e_alexnet_functional",
+    "event_sim_cluster",
+    "col2im_backward",
+    "simcache_warm_sweep",
 )
 TIMING_ONLY_CASES = ("quantize_weights", "simulate_layer", "simulate_network")
 
@@ -54,6 +57,10 @@ def test_bench_vectorization_wins(smoke_result):
     assert smoke_result.speedup("packed_unpack") > 1.5
     assert smoke_result.speedup("bitcodec_encode") > 1.5
     assert smoke_result.speedup("e2e_alexnet_functional") > 1.1
+    assert smoke_result.speedup("event_sim_cluster") > 1.5
+    assert smoke_result.speedup("col2im_backward") > 1.1
+    # warm cache replay vs cold fault-cell compute is the largest margin
+    assert smoke_result.speedup("simcache_warm_sweep") > 3.0
 
 
 def test_bench_seed_resolution():

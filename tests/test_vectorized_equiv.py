@@ -275,3 +275,191 @@ def test_faulty_conv_counters_reconcile_with_fast_paths():
     outcome = faulty_olaccel_conv2d(acts, weights, pad=1, plan=FaultPlan(rate=2e-3, seed=5))
     assert outcome.injected == outcome.detected + outcome.undetected
     assert outcome.undetected >= 0
+
+
+# ---------------------------------------------------------------------------
+# event_sim: vectorized cluster run vs the scalar stepper
+# ---------------------------------------------------------------------------
+
+
+def _random_cluster_case(rng):
+    from repro.olaccel.event_sim import passes_from_levels
+
+    n_passes = int(rng.integers(0, 40))
+    levels = rng.integers(0, 16, size=(n_passes, 16))
+    levels[rng.random(levels.shape) < float(rng.uniform(0.2, 0.8))] = 0
+    spills = rng.random(levels.shape) < float(rng.uniform(0.0, 0.5))
+    return (
+        passes_from_levels(levels, spills),
+        int(rng.integers(0, 30)),
+        int(rng.integers(1, 13)),
+        int(rng.integers(1, 5)),
+    )
+
+
+def test_cluster_sim_fast_matches_scalar_randomized():
+    import dataclasses
+
+    from repro.olaccel.event_sim import ClusterSim
+
+    rng = np.random.default_rng(4242)
+    for _ in range(60):
+        passes, outliers, n_groups, bw = _random_cluster_case(rng)
+        fast_sim = ClusterSim(n_groups=n_groups, accumulation_bandwidth=bw)
+        slow_sim = ClusterSim(n_groups=n_groups, accumulation_bandwidth=bw)
+        fast = fast_sim.run(passes, outlier_broadcasts=outliers)
+        slow = slow_sim.run(passes, outlier_broadcasts=outliers, slow_reference=True)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+        # per-group counters must agree too: ClusterSim instances are
+        # reusable and accumulate across run() calls
+        for f_group, s_group in zip(fast_sim.groups, slow_sim.groups):
+            assert f_group.busy_cycles == s_group.busy_cycles
+            assert f_group.run_cycles == s_group.run_cycles
+            assert f_group.skip_cycles == s_group.skip_cycles
+            assert f_group.bcast_cycles == s_group.bcast_cycles
+            assert f_group.stall_cycles == s_group.stall_cycles
+            assert f_group.completed_passes == s_group.completed_passes
+
+
+def test_cluster_sim_fast_matches_scalar_edge_cases():
+    import dataclasses
+
+    from repro.olaccel.event_sim import ClusterSim, passes_from_levels
+
+    empty = passes_from_levels(np.zeros((0, 16), dtype=np.int64))
+    all_zero = passes_from_levels(np.zeros((5, 16), dtype=np.int64))
+    for passes, outliers in [(empty, 0), (empty, 7), (all_zero, 0), (all_zero, 3)]:
+        fast = ClusterSim(n_groups=3).run(passes, outlier_broadcasts=outliers)
+        slow = ClusterSim(n_groups=3).run(
+            passes, outlier_broadcasts=outliers, slow_reference=True
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+
+def test_cluster_sim_repeated_runs_accumulate_identically():
+    import dataclasses
+
+    from repro.olaccel.event_sim import ClusterSim
+
+    rng = np.random.default_rng(77)
+    fast_sim = ClusterSim(n_groups=4)
+    slow_sim = ClusterSim(n_groups=4)
+    for _ in range(3):
+        passes, outliers, _, _ = _random_cluster_case(rng)
+        fast = fast_sim.run(passes, outlier_broadcasts=outliers)
+        slow = slow_sim.run(passes, outlier_broadcasts=outliers, slow_reference=True)
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+
+def test_cluster_sim_max_cycles_boundary_matches():
+    from repro.olaccel.event_sim import ClusterSim, passes_from_levels
+
+    passes = passes_from_levels(np.ones((1, 16), dtype=np.int64))
+    need = ClusterSim(n_groups=1).run(passes, slow_reference=True).cycles
+    for max_cycles in (need, need + 1):
+        outcomes = []
+        for slow in (False, True):
+            try:
+                ClusterSim(n_groups=1).run(passes, max_cycles=max_cycles, slow_reference=slow)
+                outcomes.append("converged")
+            except RuntimeError:
+                outcomes.append("raised")
+        assert outcomes[0] == outcomes[1], (max_cycles, outcomes)
+
+
+def test_cluster_sim_obs_forces_scalar_stepper():
+    # per-cycle histograms only exist on the stepper; attaching a
+    # registry must produce them (the fast path cannot)
+    from repro.olaccel.event_sim import ClusterSim, passes_from_levels
+
+    rng = np.random.default_rng(9)
+    levels = rng.integers(0, 4, size=(6, 16))
+    passes = passes_from_levels(levels)
+    obs = Registry()
+    ClusterSim(n_groups=2, obs=obs).run(passes)
+    assert obs.histogram("queue_depth").count > 0
+
+
+# ---------------------------------------------------------------------------
+# col2im: indexed scatter vs blocked slice-adds
+# ---------------------------------------------------------------------------
+
+
+def test_col2im_fast_matches_slow_both_branches():
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(515)
+    cases = [
+        # (n, c, h, w, k, stride, pad): small slices -> scatter branch
+        (1, 2, 6, 6, 5, 1, 2),
+        (1, 1, 8, 8, 5, 2, 2),
+        (2, 2, 5, 5, 3, 1, 1),
+        (1, 1, 12, 12, 7, 1, 3),
+        (1, 1, 5, 7, 2, 1, 0),
+        # large slices -> slice-add branch
+        (4, 16, 14, 14, 3, 1, 1),
+        (2, 8, 16, 16, 5, 3, 2),
+    ]
+    for n, c, h, w, k, s, p in cases:
+        out_h = F.conv_out_size(h, k, s, p)
+        out_w = F.conv_out_size(w, k, s, p)
+        for dtype in (np.float64, np.float32):
+            cols = rng.standard_normal((n * out_h * out_w, c * k * k)).astype(dtype)
+            fast = F.col2im(cols, (n, c, h, w), k, k, s, p)
+            slow = F.col2im(cols, (n, c, h, w), k, k, s, p, slow_reference=True)
+            assert fast.dtype == slow.dtype
+            assert np.array_equal(fast, slow), (n, c, h, w, k, s, p, dtype)
+
+
+def test_col2im_is_adjoint_of_im2col_unpadded():
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(77)
+    x = rng.standard_normal((2, 3, 8, 8))
+    cols = F.im2col(x, 2, 2, 2, 0)  # non-overlapping windows
+    assert np.array_equal(F.col2im(cols, x.shape, 2, 2, 2, 0), x)
+
+
+def test_conv2d_backward_gradients_unchanged_by_fast_path():
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(31)
+    x = rng.standard_normal((1, 2, 6, 6))
+    w = rng.standard_normal((4, 2, 3, 3))
+    y, cache = F.conv2d(x, w, stride=1, pad=1)
+    dy = rng.standard_normal(y.shape)
+    dx, dw, db = F.conv2d_backward(dy, cache)
+    # reference dx through the slow col2im on the same dcols
+    x_shape, cols, weight, stride, pad = cache
+    dy_mat = dy.transpose(0, 2, 3, 1).reshape(-1, 4)
+    dcols = dy_mat @ weight.reshape(4, -1)
+    dx_ref = F.col2im(dcols, x_shape, 3, 3, stride, pad, slow_reference=True)
+    assert np.array_equal(dx, dx_ref)
+
+
+def test_coord_table_lru_bounded_and_evicts_oldest():
+    from repro.nn import functional as F
+
+    F._COORD_CACHE.clear()
+    first_key = None
+    for i in range(F._COORD_CACHE_MAX + 5):
+        entry = F._coord_table(6 + i, 6 + i, 3, 3, 1, 1)
+        assert entry[0] == F.conv_out_size(6 + i, 3, 1, 1)
+        if i == 0:
+            first_key = (6, 6, 3, 3, 1, 1)
+    assert len(F._COORD_CACHE) == F._COORD_CACHE_MAX
+    assert first_key not in F._COORD_CACHE  # oldest evicted
+    # most recent geometries survive
+    assert (6 + F._COORD_CACHE_MAX + 4,) * 2 + (3, 3, 1, 1) in F._COORD_CACHE
+
+
+def test_coord_table_indices_built_lazily_and_reused():
+    from repro.nn import functional as F
+
+    F._COORD_CACHE.clear()
+    entry = F._coord_table(6, 6, 3, 3, 1, 1)
+    assert entry[2] is None  # geometry-only until the scatter needs it
+    entry = F._coord_table(6, 6, 3, 3, 1, 1, need_indices=True)
+    assert entry[2] is not None
+    again = F._coord_table(6, 6, 3, 3, 1, 1, need_indices=True)
+    assert again[2] is entry[2]  # same cached array, not rebuilt

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_<date>.json`` envelopes and gate on regressions.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_compare.py BASELINE.json CURRENT.json
+    PYTHONPATH=src python tools/bench_compare.py base.json cur.json \
+        --metric speedup --threshold 0.5 --cases pack_weights event_sim_cluster
+
+Compares every benchmark case present in *both* envelopes (or the
+``--cases`` subset) and exits 1 if any regresses past ``--threshold``
+(default 0.15 = 15%):
+
+- ``--metric best_s`` (default) — wall-clock of the fast path; a
+  regression is ``current > baseline * (1 + threshold)``. Only
+  meaningful when both envelopes came from the same machine.
+- ``--metric speedup`` — the fast-vs-slow_reference ratio; a regression
+  is ``current < baseline * (1 - threshold)``. Ratios mostly cancel the
+  machine out, so this is what CI gates against the committed smoke
+  baseline (benchmarks/BENCH_BASELINE_SMOKE.json).
+
+Cases missing a metric value on either side (timing-only cases under
+``--metric speedup``) are skipped and reported as such. Envelope
+integrity digests are verified on load; a corrupt file exits 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.errors import ArtifactIntegrityError
+from repro.harness.serialize import load_json
+
+METRICS = ("best_s", "speedup")
+
+
+def load_cases(path: str) -> Dict[str, dict]:
+    envelope = load_json(path, verify=True)
+    result = envelope.get("result", envelope)
+    cases = result.get("cases")
+    if not isinstance(cases, list):
+        raise SystemExit(f"{path}: not a bench envelope (no result.cases list)")
+    return {case["name"]: case for case in cases}
+
+
+def compare(
+    baseline: Dict[str, dict],
+    current: Dict[str, dict],
+    metric: str,
+    threshold: float,
+    only: Optional[list] = None,
+) -> int:
+    names = [n for n in baseline if n in current]
+    if only:
+        missing = [n for n in only if n not in names]
+        if missing:
+            print(f"requested case(s) absent from both envelopes: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        names = [n for n in names if n in only]
+    if not names:
+        print("no cases in common between the two envelopes", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in names)
+    print(f"{'case'.ljust(width)}  {'baseline':>10}  {'current':>10}  {'change':>8}  verdict")
+    for name in names:
+        base_v = baseline[name].get(metric)
+        cur_v = current[name].get(metric)
+        if base_v is None or cur_v is None:
+            print(f"{name.ljust(width)}  {'-':>10}  {'-':>10}  {'-':>8}  skipped (no {metric})")
+            continue
+        change = (cur_v - base_v) / base_v if base_v else 0.0
+        if metric == "best_s":
+            regressed = cur_v > base_v * (1.0 + threshold)
+            shown = (f"{base_v * 1e3:.2f}ms", f"{cur_v * 1e3:.2f}ms")
+        else:  # speedup: higher is better
+            regressed = cur_v < base_v * (1.0 - threshold)
+            shown = (f"{base_v:.1f}x", f"{cur_v:.1f}x")
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{name.ljust(width)}  {shown[0]:>10}  {shown[1]:>10}  {change:+8.1%}  {verdict}")
+        if regressed:
+            regressions.append(name)
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} case(s) regressed past {threshold:.0%} "
+            f"on {metric}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno {metric} regression past {threshold:.0%} across {len(names)} case(s)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_<date>.json envelope")
+    parser.add_argument("current", help="current BENCH_<date>.json envelope")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15, metavar="F",
+        help="allowed fractional regression before failing (default 0.15)",
+    )
+    parser.add_argument(
+        "--metric", choices=METRICS, default="best_s",
+        help="best_s: fast-path wall-clock (same-machine diffs); "
+             "speedup: fast/slow ratio (cross-machine CI gate)",
+    )
+    parser.add_argument(
+        "--cases", nargs="+", default=None, metavar="NAME",
+        help="restrict the comparison to these case names",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_cases(args.baseline)
+        current = load_cases(args.current)
+    except ArtifactIntegrityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return compare(baseline, current, args.metric, args.threshold, args.cases)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
