@@ -32,6 +32,8 @@ __all__ = [
     "olaccel_group_area",
     "olaccel_cluster_area",
     "olaccel_area",
+    "olaccel_design_area",
+    "swarm_buffer_area",
     "iso_area_clusters",
 ]
 
@@ -55,6 +57,13 @@ class AreaParams:
     cluster_fixed_16: float = 0.05
     groups_per_cluster: int = 6
     lanes_per_group: int = 17  # 16 normal + 1 outlier MAC
+    # On-chip SRAM density for the swarm buffer (65 nm single-port
+    # estimate); only the design-space explorer charges buffer area —
+    # the Table I comparisons hold the buffer constant across designs.
+    sram_mm2_per_kib: float = 0.005
+    # Accumulator/register area scales linearly with accumulator width;
+    # ``mac_fixed`` is calibrated at the paper's 24-bit accumulators.
+    acc_ref_bits: int = 24
 
 
 DEFAULT_AREA = AreaParams()
@@ -97,6 +106,48 @@ def olaccel_cluster_area(ol_act_bits: int, params: AreaParams = DEFAULT_AREA) ->
 def olaccel_area(n_clusters: int, ol_act_bits: int, params: AreaParams = DEFAULT_AREA) -> float:
     """Total OLAccel datapath area for ``n_clusters`` clusters."""
     return n_clusters * olaccel_cluster_area(ol_act_bits, params)
+
+
+def _mac_area_at(
+    act_bits: int, weight_bits: int, acc_bits: int, params: AreaParams
+) -> float:
+    """MAC area at arbitrary operand and accumulator widths."""
+    acc_scale = acc_bits / params.acc_ref_bits
+    return params.mac_per_bit2 * act_bits * weight_bits + params.mac_fixed * acc_scale
+
+
+def swarm_buffer_area(nbytes: int, params: AreaParams = DEFAULT_AREA) -> float:
+    """SRAM area of a swarm buffer of ``nbytes`` capacity."""
+    return params.sram_mm2_per_kib * nbytes / 1024.0
+
+
+def olaccel_design_area(
+    n_clusters: int,
+    groups_per_cluster: int,
+    act_bits: int = 4,
+    weight_bits: int = 4,
+    ol_act_bits: int = 16,
+    acc_bits: int = 24,
+    swarm_buffer_bytes: int = 0,
+    params: AreaParams = DEFAULT_AREA,
+) -> float:
+    """Datapath + swarm-buffer area of an arbitrary OLAccel-style design.
+
+    Generalizes :func:`olaccel_area` over the explorer's free dimensions
+    (group count, operand widths, accumulator width, buffer capacity).
+    At the paper's design point — ``groups_per_cluster=6``, 4x4-bit
+    MACs, 24-bit accumulators, no buffer term — it coincides with
+    ``olaccel_area(n_clusters, ol_act_bits)`` exactly.
+    """
+    group = params.group_fixed + params.lanes_per_group * _mac_area_at(
+        act_bits, weight_bits, acc_bits, params
+    )
+    outlier_group = params.group_fixed + params.lanes_per_group * _mac_area_at(
+        ol_act_bits, weight_bits, acc_bits, params
+    )
+    cluster_fixed = params.cluster_fixed_16 * (ol_act_bits / 16.0)
+    cluster = cluster_fixed + groups_per_cluster * group + outlier_group
+    return n_clusters * cluster + swarm_buffer_area(swarm_buffer_bytes, params)
 
 
 def iso_area_clusters(budget_mm2: float, ol_act_bits: int, params: AreaParams = DEFAULT_AREA) -> int:

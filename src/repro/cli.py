@@ -14,6 +14,7 @@ Usage::
     python -m repro profile alexnet      # wall-clock + simulated cycles
     python -m repro faults alexnet       # fault-rate + accumulator sweep
     python -m repro bench                # vectorized-vs-scalar benchmarks
+    python -m repro explore alexnet      # design-space Pareto search
     python -m repro export alexnet --out results/   # CSV + JSON breakdown
     python -m repro run fig11 --cache-dir ~/.repro-cache   # warm reruns
     python -m repro cache stats --cache-dir ~/.repro-cache # inspect it
@@ -31,9 +32,15 @@ and ``bench`` times the vectorized hot paths against their
 ``slow_reference`` twins, writing a versioned ``BENCH_<date>.json``
 (docs/PERFORMANCE.md).
 
+``explore`` (docs/EXPLORE.md) searches accelerator designs under an
+``--budget`` area cap and emits the energy/cycles/accuracy Pareto
+frontier as a ``repro.explore/v1`` envelope; it shares the resilience
+and cache flags below.
+
 Sweep-shaped verbs are **resumable** (docs/RESILIENCE.md): ``run
-fig11/12/13``, ``compare`` and ``faults`` take ``--run-dir DIR`` to
-checkpoint each cell of the sweep into ``DIR`` under a manifest, with
+fig11/12/13``, ``compare``, ``faults`` and ``explore`` take ``--run-dir
+DIR`` to checkpoint each cell of the sweep into ``DIR`` under a
+manifest, with
 per-cell supervision (``--timeout`` seconds per cell, ``--retries``
 attempts with exponential backoff); a failing cell is recorded as a
 structured CellError and rendered FAILED instead of aborting (exit
@@ -44,8 +51,9 @@ artifact digest checks). ``export`` refuses to overwrite existing
 artifacts unless ``--force`` is given.
 
 Sweep cells are additionally **memoized** (docs/PERFORMANCE.md):
-``run``/``compare``/``faults``/``bench``/``resume`` take ``--cache-dir
-DIR`` to persist every simulated cell content-addressed under DIR — a
+``run``/``compare``/``faults``/``bench``/``explore``/``resume`` take
+``--cache-dir DIR`` to persist every simulated cell content-addressed
+under DIR — a
 repeat invocation with the same configuration replays from the cache and
 produces a byte-identical envelope — and ``--no-cache`` to bypass
 memoization entirely. ``repro cache stats|clear|prune`` inspects and
@@ -84,7 +92,16 @@ from .harness import (
     sweep_group_size,
     table1_configurations,
 )
-from .errors import ArtifactIntegrityError
+from .errors import ArtifactIntegrityError, ConfigError
+from .harness.explore import (
+    DesignSpace,
+    ExploreRequest,
+    STRATEGIES,
+    explore_csv_rows,
+    explore_resume,
+    explore_run,
+    is_explore_run,
+)
 from .harness.faults import DEFAULT_RATES, DEFAULT_WIDTHS
 from .harness.resilience import (
     RetryPolicy,
@@ -348,7 +365,69 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    if args.network not in MEMORY_TABLE:
+        return _unknown_network(args.network)
+    space_overrides = {
+        "clusters": args.clusters,
+        "groups": args.groups,
+        "buffers_kib": args.buffers_kib,
+        "ratios": args.ratios,
+        "acc_bits": args.acc_bits,
+        "act_bits": args.act_bits,
+        "weight_bits": args.weight_bits,
+    }
+    space_doc = {name: values for name, values in space_overrides.items() if values}
+    request = ExploreRequest(
+        network=args.network,
+        budget_mm2=args.budget,
+        strategy=args.strategy,
+        samples=args.samples,
+        eta=args.eta,
+        screen_layers=args.screen_layers,
+        max_candidates=args.max_candidates,
+        accuracy=args.accuracy,
+        accuracy_samples=args.accuracy_samples,
+        seed=global_seed(),
+        space=DesignSpace.from_dict(space_doc) if space_doc else DesignSpace(),
+    )
+    try:
+        result, envelope = explore_run(
+            request,
+            run_dir=args.run_dir,
+            jobs=args.jobs,
+            retry=_retry_policy(args),
+        )
+    except (ArtifactIntegrityError, ConfigError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(result.format())
+    if args.run_dir:
+        print(f"\nwrote {Path(args.run_dir) / 'envelope.json'}")
+    code = 1 if result.failures else 0
+    write_code = _write_outputs(
+        args, {"explore": envelope}, explore_csv_rows(result) if args.csv else []
+    )
+    return code or write_code
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
+    if is_explore_run(args.run_dir):
+        try:
+            result, envelope = explore_resume(
+                args.run_dir,
+                jobs=args.jobs,
+                retry=_retry_policy(args),
+                verify=not args.no_verify,
+            )
+        except (ArtifactIntegrityError, ConfigError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(result.format())
+        print(f"\nwrote {Path(args.run_dir) / 'envelope.json'}")
+        if args.json:
+            print(f"wrote {save_json(envelope, args.json)}")
+        return 1 if result.failures else 0
     try:
         result, envelope, _, _ = resume_run(
             args.run_dir,
@@ -545,6 +624,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_flag(bench)
     _add_cache_flags(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    explore = sub.add_parser(
+        "explore", help="Pareto search over accelerator designs under an area budget"
+    )
+    explore.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")
+    explore.add_argument(
+        "--budget", type=float, default=None, metavar="MM2",
+        help="area budget in mm^2 for datapath + swarm buffer "
+             "(default: the Table I ISO-area point for the network)",
+    )
+    explore.add_argument(
+        "--strategy", default="grid", choices=sorted(STRATEGIES),
+        help="search strategy (default grid; docs/EXPLORE.md)",
+    )
+    explore.add_argument(
+        "--samples", type=_positive_int, default=64, metavar="N",
+        help="candidate count drawn by --strategy random (default 64)",
+    )
+    explore.add_argument(
+        "--eta", type=_positive_int, default=4, metavar="N",
+        help="halving keep fraction 1/N between rungs (default 4)",
+    )
+    explore.add_argument(
+        "--screen-layers", type=_positive_int, default=2, metavar="K",
+        help="conv layers simulated in the halving screen rung (default 2)",
+    )
+    explore.add_argument(
+        "--max-candidates", type=_positive_int, default=None, metavar="N",
+        help="hard cap on enumerated candidates (excess counts as pruned)",
+    )
+    explore.add_argument(
+        "--accuracy", default="proxy", choices=["none", "proxy", "quant"],
+        help="accuracy axis: none, proxy (deterministic SQNR, default), or "
+             "quant (measured mini-model top-1; trains on first use)",
+    )
+    explore.add_argument(
+        "--accuracy-samples", type=_positive_int, default=256, metavar="N",
+        help="test samples for --accuracy quant (default 256)",
+    )
+    for dim, flag_help in (
+        ("clusters", "PE-cluster counts to explore"),
+        ("groups", "PE groups per cluster to explore"),
+        ("buffers-kib", "swarm-buffer capacities (KiB) to explore"),
+        ("acc-bits", "accumulator widths to explore"),
+        ("act-bits", "normal activation widths to explore"),
+        ("weight-bits", "normal weight widths to explore"),
+    ):
+        explore.add_argument(
+            f"--{dim}", type=int, nargs="+", default=None, metavar="V",
+            help=f"{flag_help} (default: the documented grid, docs/EXPLORE.md)",
+        )
+    explore.add_argument(
+        "--ratios", type=float, nargs="+", default=None, metavar="R",
+        help="outlier ratios to explore (default 0.01 0.03 0.05)",
+    )
+    _add_output_flags(explore)
+    _add_seed_flag(explore)
+    _add_jobs_flag(explore)
+    _add_resilience_flags(explore)
+    _add_cache_flags(explore)
+    explore.set_defaults(func=_cmd_explore)
 
     resume = sub.add_parser(
         "resume", help="re-execute the missing/failed cells of a checkpointed sweep"

@@ -203,9 +203,21 @@ def _run_fault_width_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     )
 
 
+def _run_explore_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    set_global_seed(params.get("seed"))
+    from .explore import explore_cell
+
+    return explore_cell(
+        params["network"],
+        params["candidate"],
+        fidelity_layers=params.get("fidelity_layers"),
+    )
+
+
 register_cell_runner("breakdown", _run_breakdown_cell)
 register_cell_runner("fault_rate", _run_fault_rate_cell)
 register_cell_runner("fault_width", _run_fault_width_cell)
+register_cell_runner("explore", _run_explore_cell)
 
 
 def breakdown_plan(
@@ -752,11 +764,15 @@ def canonical_envelope_bytes(envelope: Dict[str, Any], volatile: Optional[Sequen
     Two runs of the same sweep — uninterrupted, or killed and resumed —
     must produce identical bytes here; the kill-resume equivalence
     tests assert exactly that. ``volatile`` defaults to the paths the
-    envelope itself declares under ``resilience/volatile``.
+    envelope itself declares — under ``resilience/volatile`` for
+    sweep envelopes, plus any top-level ``volatile`` list (the
+    ``repro.explore/v1`` convention).
     """
     doc = {k: v for k, v in envelope.items() if k != INTEGRITY_KEY}
     if volatile is None:
-        volatile = doc.get("resilience", {}).get("volatile", [])
+        top = doc.get("volatile")
+        volatile = list(top) if isinstance(top, list) else []
+        volatile += list(doc.get("resilience", {}).get("volatile", []))
     doc = copy.deepcopy(doc)
     for path in volatile:
         node = doc

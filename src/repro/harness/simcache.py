@@ -133,6 +133,23 @@ class SimCache:
             return None
         return self.root / key[:2] / f"{key}.json"
 
+    def contains(self, components: Dict[str, Any]) -> bool:
+        """Non-mutating probe: is this cell already stored?
+
+        Checks the memory layer, then mere disk-file existence — no
+        read, no integrity verification, and no lookup counters, so
+        callers (the explorer's hit/miss accounting) can ask without
+        perturbing ``simcache/*`` reconciliation. A corrupt entry can
+        answer ``True`` here and still recompute in :meth:`memoize`.
+        """
+        if not self.enabled:
+            return False
+        key = self.key(components)
+        if key in self._memory:
+            return True
+        path = self.entry_path(key)
+        return path is not None and path.exists()
+
     def _memory_get(self, key: str) -> Optional[Any]:
         value = self._memory.get(key)
         if value is not None:

@@ -1,0 +1,152 @@
+"""Tests for ``tools/check_doc_links.py`` — links, anchors, CLI verbs.
+
+The checker runs against small synthetic doc trees so each failure
+mode (missing file, bad anchor, ghost verb, undocumented verb) is
+exercised in isolation, plus once against the real repository, which
+must stay clean.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_doc_links as cdl  # noqa: E402
+
+
+def make_repo(root, docs, cli_verbs=("run", "list")):
+    """Lay out a minimal fake repo: markdown files + a registering CLI."""
+    for rel, text in docs.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    cli = root / "src" / "repro" / "cli.py"
+    cli.parent.mkdir(parents=True, exist_ok=True)
+    cli.write_text(
+        "\n".join(f'sub.add_parser("{verb}", help="")' for verb in cli_verbs) + "\n"
+    )
+    return root
+
+
+class TestSlugification:
+    def test_basic_headings(self):
+        assert cdl.github_slug("Run-directory layout", {}) == "run-directory-layout"
+        assert cdl.github_slug("Exit codes", {}) == "exit-codes"
+
+    def test_code_spans_and_punctuation_are_stripped(self):
+        slug = cdl.github_slug("The simulation cache (`repro.harness.simcache`)", {})
+        assert slug == "the-simulation-cache-reproharnesssimcache"
+        assert cdl.github_slug("EXPLORE — `repro explore`, the autotuner", {}) == (
+            "explore--repro-explore-the-autotuner"
+        )
+
+    def test_duplicate_headings_get_numbered(self):
+        seen = {}
+        assert cdl.github_slug("Notes", seen) == "notes"
+        assert cdl.github_slug("Notes", seen) == "notes-1"
+        assert cdl.github_slug("Notes", seen) == "notes-2"
+
+    def test_heading_slugs_ignore_fenced_blocks(self, tmp_path):
+        doc = tmp_path / "x.md"
+        doc.write_text("# Real\n```bash\n# not a heading\n```\n## Also real\n")
+        assert cdl.heading_slugs(doc) == {"real", "also-real"}
+
+
+class TestLinksAndAnchors:
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        make_repo(tmp_path, {
+            "README.md": "see [docs](docs/GUIDE.md#setup) and `repro run` / `repro list`\n",
+            "docs/GUIDE.md": "# Guide\n## Setup\nback to [readme](../README.md)\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_missing_file_is_reported(self, tmp_path, capsys):
+        make_repo(tmp_path, {"README.md": "[gone](docs/GONE.md) `repro run` `repro list`\n"})
+        assert cdl.main([str(tmp_path)]) == 1
+        assert "GONE.md" in capsys.readouterr().out
+
+    def test_bad_cross_file_anchor_is_reported(self, tmp_path, capsys):
+        make_repo(tmp_path, {
+            "README.md": "[x](docs/GUIDE.md#nope) `repro run` `repro list`\n",
+            "docs/GUIDE.md": "# Guide\n## Setup\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 1
+        assert "#nope" in capsys.readouterr().out
+
+    def test_bad_same_file_anchor_is_reported(self, tmp_path, capsys):
+        make_repo(tmp_path, {
+            "README.md": "# Top\nsee [below](#missing) `repro run` `repro list`\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 1
+        assert "#missing" in capsys.readouterr().out
+
+    def test_good_same_file_anchor_passes(self, tmp_path):
+        make_repo(tmp_path, {
+            "README.md": "# Top\nsee [below](#the-end) `repro run` `repro list`\n## The end\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 0
+
+    def test_anchor_into_non_markdown_is_not_checked(self, tmp_path):
+        make_repo(tmp_path, {
+            "README.md": "[src](src/repro/cli.py#L1) `repro run` `repro list`\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 0
+
+
+class TestVerbCrossCheck:
+    def test_ghost_verb_is_reported(self, tmp_path, capsys):
+        make_repo(tmp_path, {
+            "README.md": "`repro run` and `repro list` and `repro teleport`\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 1
+        assert "teleport" in capsys.readouterr().out
+
+    def test_undocumented_verb_is_reported(self, tmp_path, capsys):
+        make_repo(tmp_path, {"README.md": "`repro run` only\n"}, cli_verbs=("run", "list"))
+        assert cdl.main([str(tmp_path)]) == 1
+        assert "repro list" in capsys.readouterr().out
+
+    def test_fenced_blocks_count_as_mentions(self, tmp_path):
+        make_repo(tmp_path, {
+            "README.md": "```bash\npython -m repro run fig11\npython -m repro list\n```\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 0
+
+    def test_prose_mentions_do_not_count(self, tmp_path, capsys):
+        # "repro frobnicate" in prose (outside spans/fences) is ignored.
+        make_repo(tmp_path, {
+            "README.md": "the repro frobnicate idea\n`repro run` `repro list`\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 0
+
+    def test_roadmap_may_name_future_verbs(self, tmp_path):
+        make_repo(tmp_path, {
+            "README.md": "`repro run` `repro list`\n",
+            "ROADMAP.md": "someday: `repro teleport`\n",
+        })
+        assert cdl.main([str(tmp_path)]) == 0
+
+    def test_missing_cli_skips_verb_check(self, tmp_path):
+        (tmp_path / "README.md").write_text("`repro anything`\n")
+        assert cdl.main([str(tmp_path)]) == 0
+
+
+class TestRealRepository:
+    def test_repo_docs_are_clean(self, capsys):
+        assert cdl.main([str(REPO)]) == 0
+        out = capsys.readouterr().out
+        assert "ok:" in out
+
+    def test_repo_registers_explore_and_docs_mention_it(self):
+        verbs = cdl.cli_verbs(REPO)
+        assert "explore" in verbs
+        mentions = cdl.doc_verb_mentions(REPO)
+        assert "explore" in mentions
+        assert set(mentions) <= verbs
+        assert verbs <= set(mentions)

@@ -1,0 +1,107 @@
+"""Docs-example smoke test: the fenced commands in the docs must run.
+
+Extracts every ````bash```` block from README.md and docs/*.md, keeps
+the ``python -m repro …`` lines (joining backslash continuations,
+stripping the ``PYTHONPATH=src`` prefix), and executes each document's
+commands in order inside a private scratch directory — so the
+checkpoint/resume and cache sequences in the docs exercise exactly the
+state the previous line left behind. A documented command that exits
+non-zero fails the build: examples rot otherwise.
+
+Heavy commands (mini-model training, the full-size benchmark suite,
+external scripts) are skipped by an explicit pattern list — everything
+else in the docs is seconds-scale by design.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+DOCS = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+_BASH_BLOCK = re.compile(r"```bash\n(.*?)```", re.S)
+
+#: substrings that mark a documented command as too heavy (or too
+#: external) for the smoke tier; everything else must run clean.
+SKIP_PATTERNS = (
+    "run all",            # trains every mini model
+    "run fig2", "run fig3", "run fig14",  # mini-model training
+    "--accuracy quant",   # mini-model training
+    "pytest",             # the suite running itself
+    "REPRO_KILL_AFTER_CELLS",  # deliberate crash demos
+)
+
+
+def _commands(doc: Path):
+    """The runnable ``python -m repro`` commands of one document, in order."""
+    out = []
+    for block in _BASH_BLOCK.findall(doc.read_text(encoding="utf-8")):
+        logical = []
+        for line in block.splitlines():
+            if logical and logical[-1].endswith("\\"):
+                logical[-1] = logical[-1][:-1] + " " + line.strip()
+            else:
+                logical.append(line.strip())
+        for line in logical:
+            if line.startswith("PYTHONPATH=src "):
+                line = line[len("PYTHONPATH=src "):]
+            if not line.startswith("python -m repro "):
+                continue
+            if line.split("#", 1)[0].rstrip().endswith("bench"):
+                continue  # full-size bench is ~a minute; --smoke runs below
+            if any(pat in line for pat in SKIP_PATTERNS):
+                continue
+            out.append(line)
+    return out
+
+
+def iter_cases():
+    for doc in DOCS:
+        commands = _commands(doc)
+        if commands:
+            yield pytest.param(doc, commands, id=doc.name)
+
+
+CASES = list(iter_cases())
+
+
+def test_extraction_finds_a_healthy_corpus():
+    """Guard the extractor itself: if the docs or the regex drift and
+    nothing gets extracted, the per-doc tests would silently vanish."""
+    total = sum(len(commands) for _, commands in (p.values for p in CASES))
+    assert total >= 5, f"only {total} runnable doc commands extracted"
+    names = {doc.name for doc, _ in (p.values for p in CASES)}
+    assert "README.md" in names and "EXPLORE.md" in names
+
+
+@pytest.mark.parametrize("doc,commands", [p.values for p in CASES], ids=[p.id for p in CASES])
+def test_documented_commands_run(doc, commands, tmp_path):
+    env = {
+        **os.environ,
+        "PYTHONPATH": str(REPO / "src"),
+        "HOME": str(tmp_path),  # `~/.repro-cache` examples land here
+    }
+    for var in ("REPRO_KILL_AFTER_CELLS", "REPRO_CACHE_DIR", "REPRO_NO_CACHE"):
+        env.pop(var, None)
+    for command in commands:
+        runnable = command.replace("python -m repro", f"{sys.executable} -m repro", 1)
+        proc = subprocess.run(
+            runnable,
+            shell=True,
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, (
+            f"{doc.name}: documented command failed ({proc.returncode}):\n"
+            f"  $ {command}\n{proc.stderr[-2000:]}"
+        )

@@ -1,11 +1,22 @@
 #!/usr/bin/env python3
-"""Verify that relative markdown links in the repo's docs resolve.
+"""Verify the repo's markdown docs against the things they point at.
 
-Scans every tracked ``*.md`` file for ``[text](target)`` links, skips
-external (``http(s)://``, ``mailto:``) and pure-anchor targets, and
-checks that each remaining target exists relative to the linking file.
-Exits non-zero listing every broken link, so CI catches docs rotting
-when files move.
+Three checks, all exiting non-zero with a per-problem listing so CI
+catches docs rotting as the code moves:
+
+1. **Relative links** — every ``[text](target)`` in a tracked ``*.md``
+   must resolve to an existing file (external ``http(s)://`` /
+   ``mailto:`` targets are skipped).
+2. **Anchor fragments** — ``#fragment`` parts, both same-file
+   (``[x](#foo)``) and cross-file (``[x](OTHER.md#foo)``), must match a
+   heading in the target document under GitHub's slugification rules
+   (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+   numbered ``-1``, ``-2``, …).
+3. **CLI verbs, bidirectionally** — every ``repro <verb>`` the docs
+   mention (in inline code spans or fenced blocks) must be a subcommand
+   ``src/repro/cli.py`` actually registers, and every registered verb
+   must be mentioned by at least one doc — an undocumented verb is as
+   much a bug as a documented ghost.
 
 Usage::
 
@@ -20,10 +31,21 @@ from pathlib import Path
 
 #: inline markdown links; images share the syntax bar a leading '!'
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
-_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
 _SKIP_DIRS = {".git", ".hypothesis", "__pycache__", ".pytest_cache", "results", "node_modules"}
 #: files quoting *other* repositories verbatim — their links point there
 _SKIP_FILES = {"SNIPPETS.md", "PAPERS.md"}
+
+#: ATX headings; markdown inside fenced code blocks is excluded upstream
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+#: ``add_parser("verb")`` registrations in the CLI
+_ADD_PARSER = re.compile(r"add_parser\(\s*['\"]([a-z][a-z0-9-]*)['\"]")
+#: ``repro <verb>`` mentions inside docs (code spans and fenced blocks)
+_VERB_MENTION = re.compile(r"\brepro\s+([a-z][a-z0-9-]*)\b")
+#: planning docs may name verbs that do not exist *yet*
+_VERB_SKIP_FILES = {"ROADMAP.md", "ISSUE.md", "CHANGES.md", "DESIGN.md"}
 
 
 def iter_markdown(root: Path):
@@ -34,19 +56,110 @@ def iter_markdown(root: Path):
             yield path
 
 
-def check_file(path: Path, root: Path):
-    """Yield (target, reason) for each broken link in ``path``."""
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug for a heading text, tracking duplicates.
+
+    Inline code/emphasis markers are stripped, then: lowercase, drop
+    everything but word characters, spaces and hyphens, and turn spaces
+    into hyphens. ``seen`` maps base slugs to their occurrence count so
+    repeated headings get ``-1``, ``-2``, … suffixes like GitHub does.
+    """
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    slug = text.replace(" ", "-")
+    n = seen.get(slug, 0)
+    seen[slug] = n + 1
+    return slug if n == 0 else f"{slug}-{n}"
+
+
+def heading_slugs(path: Path) -> set:
+    """Every valid anchor in a markdown file (fenced blocks ignored)."""
+    slugs: set = set()
+    seen: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slugs.add(github_slug(match.group(2), seen))
+    return slugs
+
+
+def check_file(path: Path, root: Path, slug_cache: dict = None):
+    """Yield (target, reason) for each broken link or anchor in ``path``."""
+    slug_cache = slug_cache if slug_cache is not None else {}
     text = path.read_text(encoding="utf-8")
     for match in _LINK.finditer(text):
         target = match.group(1)
         if target.startswith(_SKIP_PREFIXES):
             continue
-        clean = target.split("#", 1)[0].split("?", 1)[0]
-        if not clean:
+        clean, _, fragment = target.partition("#")
+        clean = clean.split("?", 1)[0]
+        if clean:
+            resolved = (root / clean.lstrip("/")) if clean.startswith("/") else (path.parent / clean)
+            if not resolved.exists():
+                yield target, f"{resolved.resolve()} does not exist"
+                continue
+        else:
+            resolved = path  # pure-anchor link into this same document
+        if fragment and resolved.suffix == ".md":
+            key = resolved.resolve()
+            if key not in slug_cache:
+                slug_cache[key] = heading_slugs(resolved)
+            if fragment.lower() not in slug_cache[key]:
+                yield target, f"no heading in {resolved.name} slugifies to #{fragment}"
+
+
+def cli_verbs(root: Path) -> set:
+    """The subcommands ``src/repro/cli.py`` registers."""
+    cli = root / "src" / "repro" / "cli.py"
+    if not cli.exists():
+        return set()
+    return set(_ADD_PARSER.findall(cli.read_text(encoding="utf-8")))
+
+
+def doc_verb_mentions(root: Path):
+    """Map verb -> first mentioning doc, from code spans and fenced blocks."""
+    mentions: dict = {}
+    for path in iter_markdown(root):
+        if path.name in _VERB_SKIP_FILES:
             continue
-        resolved = (root / clean.lstrip("/")) if clean.startswith("/") else (path.parent / clean)
-        if not resolved.exists():
-            yield target, f"{resolved.resolve()} does not exist"
+        text = path.read_text(encoding="utf-8")
+        snippets = []
+        in_fence = False
+        for line in text.splitlines():
+            if _FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                snippets.append(line)
+        snippets.extend(re.findall(r"`([^`]*)`", text))
+        for snippet in snippets:
+            for verb in _VERB_MENTION.findall(snippet):
+                mentions.setdefault(verb, path)
+    return mentions
+
+
+def check_verbs(root: Path):
+    """Yield one message per verb/doc mismatch, both directions."""
+    registered = cli_verbs(root)
+    if not registered:
+        return
+    mentions = doc_verb_mentions(root)
+    for verb in sorted(set(mentions) - registered):
+        yield (
+            f"{mentions[verb].relative_to(root)}: mentions `repro {verb}` "
+            f"but cli.py registers no such subcommand"
+        )
+    for verb in sorted(registered - set(mentions)):
+        yield (
+            f"cli.py registers `repro {verb}` but no markdown doc mentions it "
+            f"(add it to README.md or docs/)"
+        )
 
 
 def main(argv=None) -> int:
@@ -54,16 +167,21 @@ def main(argv=None) -> int:
     root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
     broken = []
     checked = 0
+    slug_cache: dict = {}
     for path in iter_markdown(root):
         checked += 1
-        for target, reason in check_file(path, root):
+        for target, reason in check_file(path, root, slug_cache):
             broken.append(f"{path.relative_to(root)}: ({target}) -> {reason}")
+    broken.extend(check_verbs(root))
     if broken:
-        print(f"{len(broken)} broken link(s) across {checked} markdown file(s):")
+        print(f"{len(broken)} problem(s) across {checked} markdown file(s):")
         for line in broken:
             print(f"  {line}")
         return 1
-    print(f"ok: {checked} markdown file(s), no broken relative links")
+    print(
+        f"ok: {checked} markdown file(s) — links, anchors and "
+        f"{len(cli_verbs(root))} CLI verb(s) all consistent"
+    )
     return 0
 
 
