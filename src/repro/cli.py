@@ -50,6 +50,15 @@ bit-identically to an uninterrupted run (``--no-verify`` skips the
 artifact digest checks). ``export`` refuses to overwrite existing
 artifacts unless ``--force`` is given.
 
+Checkpointed sweeps are also **distributable** (docs/COORD.md): any
+number of ``repro work DIR`` worker processes — one machine or many
+sharing a filesystem — cooperatively drain the same run dir, claiming
+cells via crash-safe lease files, renewing heartbeats while simulating,
+and stealing cells whose owner died; ``repro status DIR`` shows the
+per-cell record/lease/owner state. ``--lease-ttl``/``--heartbeat``
+tune the protocol (validated at parse time: the TTL must exceed the
+heartbeat interval, and any ``--timeout`` plus one heartbeat).
+
 Sweep cells are additionally **memoized** (docs/PERFORMANCE.md):
 ``run``/``compare``/``faults``/``bench``/``explore``/``resume`` take
 ``--cache-dir DIR`` to persist every simulated cell content-addressed
@@ -103,6 +112,7 @@ from .harness.explore import (
     is_explore_run,
 )
 from .harness.faults import DEFAULT_RATES, DEFAULT_WIDTHS
+from .harness.coord import DEFAULT_HEARTBEAT_S, DEFAULT_LEASE_TTL_S, default_owner_id
 from .harness.resilience import (
     RetryPolicy,
     RunDir,
@@ -110,6 +120,8 @@ from .harness.resilience import (
     execute_sweep,
     faults_plan,
     resume_run,
+    status_run,
+    work_run,
 )
 from .harness.seeding import global_seed
 from .harness.simcache import CACHE_DIR_ENV, NO_CACHE_ENV, SimCache, set_active
@@ -191,6 +203,8 @@ def _run_sweep(plan, args: argparse.Namespace):
             args.run_dir,
             jobs=getattr(args, "jobs", 1),
             retry=_retry_policy(args),
+            lease_ttl=getattr(args, "lease_ttl", None),
+            heartbeat_s=getattr(args, "heartbeat", None),
         )
     except ArtifactIntegrityError as exc:
         print(str(exc), file=sys.stderr)
@@ -397,6 +411,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             run_dir=args.run_dir,
             jobs=args.jobs,
             retry=_retry_policy(args),
+            lease_ttl=getattr(args, "lease_ttl", None),
+            heartbeat_s=getattr(args, "heartbeat", None),
         )
     except (ArtifactIntegrityError, ConfigError) as exc:
         print(str(exc), file=sys.stderr)
@@ -411,7 +427,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return code or write_code
 
 
-def _cmd_resume(args: argparse.Namespace) -> int:
+def _drain_run_dir(args: argparse.Namespace, owner: str = None) -> int:
+    """Shared body of ``repro resume`` and ``repro work``: drain a run
+    dir (plain sweep or explore search) and report the result."""
     if is_explore_run(args.run_dir):
         try:
             result, envelope = explore_resume(
@@ -419,6 +437,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 retry=_retry_policy(args),
                 verify=not args.no_verify,
+                lease_ttl=getattr(args, "lease_ttl", None),
+                heartbeat_s=getattr(args, "heartbeat", None),
             )
         except (ArtifactIntegrityError, ConfigError) as exc:
             print(str(exc), file=sys.stderr)
@@ -429,11 +449,14 @@ def _cmd_resume(args: argparse.Namespace) -> int:
             print(f"wrote {save_json(envelope, args.json)}")
         return 1 if result.failures else 0
     try:
-        result, envelope, _, _ = resume_run(
+        result, envelope, _, _ = work_run(
             args.run_dir,
             jobs=args.jobs,
             retry=_retry_policy(args),
             verify=not args.no_verify,
+            owner=owner,
+            lease_ttl=getattr(args, "lease_ttl", None),
+            heartbeat_s=getattr(args, "heartbeat", None),
         )
     except ArtifactIntegrityError as exc:
         print(str(exc), file=sys.stderr)
@@ -443,6 +466,47 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     if args.json:
         print(f"wrote {save_json(envelope, args.json)}")
     return 1 if envelope["resilience"]["cells_failed"] else 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    return _drain_run_dir(args)
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    owner = default_owner_id()
+    print(f"worker {owner} draining {args.run_dir}")
+    return _drain_run_dir(args, owner=owner)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    try:
+        status = status_run(args.run_dir, verify=not args.no_verify)
+    except ArtifactIntegrityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    counts = status["counts"]
+    print(
+        f"run {status['run_id']}  plan={status['plan']}  "
+        f"experiment={status['experiment']}  cells={counts['total']}  "
+        f"envelope={'yes' if status['envelope'] else 'no'}"
+    )
+    width = max([len("cell")] + [len(c["cell_id"]) for c in status["cells"]])
+    print(f"{'cell'.ljust(width)}  {'state':7}  {'attempts':8}  owner (token, heartbeats, elapsed)")
+    for cell in status["cells"]:
+        attempts = "-" if cell["attempts"] is None else str(cell["attempts"])
+        if cell["owner"] is None:
+            lease = "-"
+        else:
+            lease = (
+                f"{cell['owner']} (token {cell['token']}, "
+                f"hb {cell['heartbeats']}, {cell['elapsed_s']:g}s)"
+            )
+        print(f"{cell['cell_id'].ljust(width)}  {cell['state']:7}  {attempts:8}  {lease}")
+    print(
+        f"{counts['ok']} ok, {counts['failed']} failed, "
+        f"{counts['leased']} leased, {counts['pending']} pending"
+    )
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -496,6 +560,17 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float, rejected at parse time."""
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text!r}")
+    return value
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
@@ -536,7 +611,8 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--run-dir", metavar="DIR", default=None,
         help="checkpoint each sweep cell into DIR so the run can be "
-             "resumed with `repro resume DIR` (docs/RESILIENCE.md)",
+             "resumed with `repro resume DIR` or drained by extra "
+             "`repro work DIR` workers (docs/RESILIENCE.md, docs/COORD.md)",
     )
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="S",
@@ -547,6 +623,52 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         help="max attempts per cell incl. the first, with exponential "
              "backoff between attempts (default 3)",
     )
+    _add_lease_flags(parser)
+
+
+def _add_lease_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lease-ttl", type=_positive_float, default=None, metavar="S",
+        help="seconds a cell lease may go unrenewed before other workers "
+             f"steal it (default: max({DEFAULT_LEASE_TTL_S:g}, --timeout "
+             "+ two heartbeats); docs/COORD.md)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=_positive_float, default=None, metavar="S",
+        help="seconds between lease heartbeat renewals "
+             f"(default {DEFAULT_HEARTBEAT_S:g})",
+    )
+
+
+def _lease_flag_error(args: argparse.Namespace) -> str:
+    """The parse-time consistency check for the lease knobs.
+
+    Returns an error message (exit 2) when an explicit ``--lease-ttl``
+    cannot outlive a heartbeat interval, or a cell running up to its
+    ``--timeout``: such a configuration would let live leases expire
+    mid-cell by construction. The auto-scaled default TTL is always
+    consistent, so only explicit values can be rejected.
+    """
+    ttl = getattr(args, "lease_ttl", None)
+    if ttl is None:
+        return ""
+    heartbeat = getattr(args, "heartbeat", None)
+    heartbeat = heartbeat if heartbeat is not None else DEFAULT_HEARTBEAT_S
+    if ttl <= heartbeat:
+        return (
+            f"--lease-ttl ({ttl:g}s) must exceed the --heartbeat interval "
+            f"({heartbeat:g}s): a lease would expire between renewals by "
+            "construction"
+        )
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None and ttl <= timeout + heartbeat:
+        return (
+            f"--lease-ttl ({ttl:g}s) must exceed --timeout ({timeout:g}s) "
+            f"plus one --heartbeat interval ({heartbeat:g}s), or a live "
+            "lease could expire mid-cell; raise --lease-ttl or lower "
+            "--timeout"
+        )
+    return ""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -703,9 +825,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=_positive_int, default=3, metavar="N",
         help="max attempts per cell incl. the first (default 3)",
     )
+    _add_lease_flags(resume)
     _add_jobs_flag(resume)
     _add_cache_flags(resume)
     resume.set_defaults(func=_cmd_resume)
+
+    work = sub.add_parser(
+        "work",
+        help="join a checkpointed sweep as an extra worker, claiming and "
+             "stealing cells via crash-safe leases (docs/COORD.md)",
+    )
+    work.add_argument("run_dir", metavar="RUN_DIR", help="run directory with a manifest.json")
+    work.add_argument(
+        "--no-verify", action="store_true",
+        help="skip artifact digest verification when reading checkpointed cells",
+    )
+    work.add_argument("--json", metavar="PATH", help="also write the final envelope here")
+    work.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-cell timeout in seconds (default none)",
+    )
+    work.add_argument(
+        "--retries", type=_positive_int, default=3, metavar="N",
+        help="max attempts per cell incl. the first (default 3)",
+    )
+    _add_lease_flags(work)
+    _add_jobs_flag(work)
+    _add_cache_flags(work)
+    work.set_defaults(func=_cmd_work)
+
+    status = sub.add_parser(
+        "status",
+        help="per-cell completion and lease/owner state of a checkpointed sweep",
+    )
+    status.add_argument("run_dir", metavar="RUN_DIR", help="run directory with a manifest.json")
+    status.add_argument(
+        "--no-verify", action="store_true",
+        help="skip artifact digest verification when reading checkpointed cells",
+    )
+    status.set_defaults(func=_cmd_status)
 
     cache = sub.add_parser("cache", help="inspect or maintain a simcache directory")
     cache.add_argument("action", choices=["stats", "clear", "prune"],
@@ -735,6 +893,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
+    lease_error = _lease_flag_error(args)
+    if lease_error:
+        print(f"error: {lease_error}", file=sys.stderr)
+        return 2
     set_global_seed(getattr(args, "seed", None))
     _apply_cache_flags(args)
     try:

@@ -27,14 +27,22 @@ with one clause, or narrow to a family:
   (worker exception, per-task timeout, or a crashed/killed worker
   process). Carries the cell id, the failure kind and the attempt
   count so reports and envelopes can name exactly what is missing.
+- :class:`LeaseError` — a coordination lease on a sweep cell could not
+  be acquired, renewed, or released (docs/COORD.md). Carries the cell
+  id and the owner id involved.
+- :class:`StaleOwnerError` — the narrower, expected flavour of
+  :class:`LeaseError`: this process's lease expired and another worker
+  stole the cell. Raised on the next heartbeat so the loser can finish
+  its attempt and defer to the first durable record.
 
 Every pre-existing concrete class also subclasses :class:`ValueError`:
 the seed codebase raised bare ``ValueError`` for those conditions, and
 existing ``except ValueError`` call sites (and tests) must keep working
-unchanged. :class:`CellError` is new with this taxonomy (no legacy
-call sites) and subclasses :class:`RuntimeError` instead — it reports a
-failed computation, not a bad value. New code should catch the
-taxonomy classes.
+unchanged. :class:`CellError`, :class:`LeaseError` and
+:class:`StaleOwnerError` are new with this taxonomy (no legacy call
+sites) and subclass :class:`RuntimeError` instead — they report a
+failed computation or a lost race, not a bad value. New code should
+catch the taxonomy classes.
 
 The fault-injection layer (:mod:`repro.faults`) raises
 :class:`ChunkIntegrityError` under its ``raise`` recovery policy and
@@ -54,6 +62,8 @@ __all__ = [
     "ChunkIntegrityError",
     "ArtifactIntegrityError",
     "CellError",
+    "LeaseError",
+    "StaleOwnerError",
 ]
 
 
@@ -179,3 +189,54 @@ class CellError(ReproError, RuntimeError):
             "attempts": self.attempts,
             "message": str(self),
         }
+
+
+class LeaseError(ReproError, RuntimeError):
+    """A coordination lease could not be acquired, renewed, or released.
+
+    Raised by the lease protocol (docs/COORD.md) when this process asks
+    for an operation on a lease it does not hold, or when the lease
+    file itself cannot be maintained. ``cell_id`` names the contested
+    cell and ``owner`` the owner id the operation ran as.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell_id: Optional[str] = None,
+        owner: Optional[str] = None,
+    ):
+        self.cell_id = cell_id
+        self.owner = owner
+        where = []
+        if cell_id is not None:
+            where.append(f"cell={cell_id}")
+        if owner is not None:
+            where.append(f"owner={owner}")
+        suffix = f" [{', '.join(where)}]" if where else ""
+        super().__init__(message + suffix)
+
+
+class StaleOwnerError(LeaseError):
+    """This process's lease on a cell expired and was stolen.
+
+    The expected contention outcome, not a bug: a worker that stalled
+    (or whose heartbeats stopped) finds out on its next renewal that
+    another owner now holds the cell. ``current_owner`` names the
+    thief; the loser may still finish its attempt — the first durable
+    cell record wins deterministically.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cell_id: Optional[str] = None,
+        owner: Optional[str] = None,
+        current_owner: Optional[str] = None,
+    ):
+        self.current_owner = current_owner
+        if current_owner is not None:
+            message = f"{message} (now held by {current_owner})"
+        super().__init__(message, cell_id=cell_id, owner=owner)

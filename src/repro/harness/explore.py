@@ -811,6 +811,8 @@ def explore_run(
     retry: Optional[RetryPolicy] = None,
     obs: Optional[Registry] = None,
     verify: bool = True,
+    lease_ttl: Optional[float] = None,
+    heartbeat_s: Optional[float] = None,
 ) -> Tuple[ExploreResult, Dict[str, Any]]:
     """Run (or continue) one design-space search; returns (result, envelope).
 
@@ -867,7 +869,7 @@ def explore_run(
         if root is not None:
             _, _, _, records = execute_sweep(
                 plan, root / RUNGS_DIR / str(rung), jobs=jobs, retry=retry,
-                obs=obs, verify=verify,
+                obs=obs, verify=verify, lease_ttl=lease_ttl, heartbeat_s=heartbeat_s,
             )
         else:
             records = _execute_inline(plan, obs)
@@ -979,6 +981,8 @@ def explore_resume(
     retry: Optional[RetryPolicy] = None,
     obs: Optional[Registry] = None,
     verify: bool = True,
+    lease_ttl: Optional[float] = None,
+    heartbeat_s: Optional[float] = None,
 ) -> Tuple[ExploreResult, Dict[str, Any]]:
     """Re-drive an interrupted search from its ``explore.json`` marker.
 
@@ -1004,5 +1008,6 @@ def explore_resume(
         )
     request = ExploreRequest.from_dict(doc["request"])
     return explore_run(
-        request, run_dir=run_dir, jobs=jobs, retry=retry, obs=obs, verify=verify
+        request, run_dir=run_dir, jobs=jobs, retry=retry, obs=obs, verify=verify,
+        lease_ttl=lease_ttl, heartbeat_s=heartbeat_s,
     )

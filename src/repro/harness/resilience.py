@@ -24,10 +24,20 @@ a crash, hang, or Ctrl-C loses at most the cell in flight:
   failed, or corrupt cells and reassembles the final envelope
   bit-identically to an uninterrupted run (modulo the fields the
   manifest declares volatile: run id and creation timestamp).
+- **Coordination** — every execution mode (serial, ``--jobs``,
+  ``repro resume``, and N independent ``repro work`` processes
+  draining one run dir) routes through the same lease protocol
+  (:mod:`repro.harness.coord`, docs/COORD.md): cells are claimed via
+  crash-consistent lease files, heartbeat-renewed while simulating,
+  stolen when their owner dies or stalls, and settled by the first
+  durable cell record. A worker that finds a cell finished elsewhere
+  *adopts* the record instead of recomputing.
 
 Observability lands under ``resilience/*`` (see docs/RESILIENCE.md for
 the exact counter semantics); the core reconciliation invariant is
-``cells_attempted == cells_succeeded + cells_failed``.
+``cells_attempted == cells_succeeded + cells_failed``, with
+``cells_adopted`` counting records taken over from other workers and
+the ``coord/*`` ledger reconciling claims exactly (docs/COORD.md).
 """
 
 from __future__ import annotations
@@ -48,6 +58,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ArtifactIntegrityError, CellError
 from ..obs import NULL_REGISTRY, Registry
+from .coord import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_LEASE_TTL_S,
+    LEASES_DIR,
+    CellCoordinator,
+    LeaseManager,
+    default_owner_id,
+    safe_cell_filename,
+)
 from .parallel import pool_context
 from .seeding import set_global_seed
 from .serialize import (
@@ -57,6 +76,7 @@ from .serialize import (
     experiment_envelope,
     load_json,
     save_json,
+    to_jsonable,
 )
 
 __all__ = [
@@ -74,6 +94,9 @@ __all__ = [
     "faults_plan",
     "execute_sweep",
     "resume_run",
+    "work_run",
+    "status_run",
+    "effective_lease_ttl",
     "canonical_envelope_bytes",
 ]
 
@@ -357,8 +380,32 @@ PLAN_ASSEMBLERS["faults"] = _assemble_faults
 
 
 def _cell_filename(cell_id: str) -> str:
-    safe = "".join(c if (c.isalnum() or c in "._=-") else "_" for c in cell_id)
-    return f"{safe}.json"
+    return safe_cell_filename(cell_id)
+
+
+def _config_diff(manifest: Dict[str, Any], plan: SweepPlan) -> List[str]:
+    """The config keys on which a manifest and a plan disagree.
+
+    Names the *semantic* source of a config-hash mismatch — seed,
+    params.<key>, the cell list — so the error message says what to
+    change rather than just that two digests differ.
+    """
+    diffs: List[str] = []
+    for key, ours in (
+        ("plan", plan.plan),
+        ("experiment", plan.experiment),
+        ("seed", plan.seed),
+    ):
+        if to_jsonable(manifest.get(key)) != to_jsonable(ours):
+            diffs.append(key)
+    theirs_params = manifest.get("params") or {}
+    ours_params = to_jsonable(plan.params) or {}
+    for key in sorted(set(theirs_params) | set(ours_params)):
+        if theirs_params.get(key) != ours_params.get(key):
+            diffs.append(f"params.{key}")
+    if to_jsonable([c.to_dict() for c in plan.cells]) != (manifest.get("cells") or []):
+        diffs.append("cells")
+    return diffs
 
 
 class RunDir:
@@ -380,6 +427,10 @@ class RunDir:
     def envelope_path(self) -> Path:
         return self.root / ENVELOPE_NAME
 
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / LEASES_DIR
+
     def cell_path(self, cell_id: str) -> Path:
         return self.cells_dir / _cell_filename(cell_id)
 
@@ -395,8 +446,12 @@ class RunDir:
         if self.manifest_path.exists():
             manifest = self.load_manifest(verify=verify)
             if manifest["config_hash"] != plan.config_hash():
+                diffs = _config_diff(manifest, plan) or ["<undetermined>"]
                 raise ArtifactIntegrityError(
-                    "run directory belongs to a different sweep configuration",
+                    "run directory belongs to a different sweep configuration: "
+                    f"manifest config_hash {manifest['config_hash']} != "
+                    f"requested {plan.config_hash()}; "
+                    f"differing keys: {', '.join(diffs)}",
                     path=str(self.manifest_path),
                     reason="manifest_mismatch",
                 )
@@ -471,22 +526,68 @@ class RunDir:
             os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here
         return record, path
 
-    def read_cells(self, plan: SweepPlan, verify: bool = True) -> Dict[str, Dict[str, Any]]:
-        """All readable, digest-valid records keyed by cell id.
+    def write_cell_exclusive(
+        self,
+        spec: CellSpec,
+        status: str,
+        result: Any = None,
+        error: Optional[Dict[str, Any]] = None,
+        attempts: int = 1,
+    ) -> Tuple[Dict[str, Any], bool]:
+        """Write a record only if one is not already durably in place.
+
+        The double-completion rule (docs/COORD.md): the **first durable
+        ok record wins**. A second ok completion must carry an
+        identical result digest — cells are deterministic, so a
+        divergence is corruption and raises — and is otherwise
+        discarded in favour of the existing record. An existing
+        *failed* record is replaceable by an ok one (resume semantics:
+        a later attempt that succeeds beats a recorded failure) but not
+        by another failure. Returns ``(record, wrote)``.
+        """
+        existing = self.read_cell(spec)
+        if existing is not None:
+            if existing.get("status") == "ok":
+                if status == "ok":
+                    theirs = content_digest(to_jsonable(existing.get("result")))
+                    ours = content_digest(to_jsonable(result))
+                    if theirs != ours:
+                        raise ArtifactIntegrityError(
+                            f"cell {spec.cell_id!r} completed twice with diverging "
+                            f"results (existing digest {theirs}, new {ours}) — "
+                            "cell runners must be deterministic",
+                            path=str(self.cell_path(spec.cell_id)),
+                            reason="cell_conflict",
+                        )
+                return existing, False
+            if status != "ok":
+                return existing, False
+        record, _ = self.write_cell(spec, status, result=result, error=error, attempts=attempts)
+        return record, True
+
+    def read_cell(self, spec: CellSpec, verify: bool = True) -> Optional[Dict[str, Any]]:
+        """One readable, digest-valid record — or ``None``.
 
         A truncated or tampered record is treated as missing — the cell
         simply re-executes — rather than poisoning the resume.
         """
+        path = self.cell_path(spec.cell_id)
+        if not path.exists():
+            return None
+        try:
+            record = load_json(path, verify=verify)
+        except ArtifactIntegrityError:
+            return None
+        if record.get("schema") == CELL_SCHEMA and record.get("cell_id") == spec.cell_id:
+            return record
+        return None
+
+    def read_cells(self, plan: SweepPlan, verify: bool = True) -> Dict[str, Dict[str, Any]]:
+        """All readable, digest-valid records keyed by cell id."""
         records: Dict[str, Dict[str, Any]] = {}
         for spec in plan.cells:
-            path = self.cell_path(spec.cell_id)
-            if not path.exists():
-                continue
-            try:
-                record = load_json(path, verify=verify)
-            except ArtifactIntegrityError:
-                continue
-            if record.get("schema") == CELL_SCHEMA and record.get("cell_id") == spec.cell_id:
+            record = self.read_cell(spec, verify=verify)
+            if record is not None:
                 records[spec.cell_id] = record
         return records
 
@@ -529,6 +630,8 @@ def _execute_cells(
     retry: RetryPolicy,
     on_done: Callable[[CellSpec, str, Any, int], None],
     obs: Registry,
+    coord: Optional[CellCoordinator] = None,
+    on_adopted: Optional[Callable[[CellSpec, Dict[str, Any]], None]] = None,
 ) -> Dict[str, Tuple[str, Any, int]]:
     """Run cells on up to ``jobs`` supervised worker processes.
 
@@ -536,6 +639,13 @@ def _execute_cells(
     so a crashed or hung worker is terminated and retried without
     corrupting a shared pool. ``on_done`` fires once per cell with its
     final status (``ok``/``failed``) — that is the checkpoint hook.
+
+    With ``coord`` attached, every cell is opened through the lease
+    protocol before launch: a cell finished by another worker is
+    *adopted* (``on_adopted``), a cell validly leased elsewhere is
+    deferred and retried (eventually stealing an expired lease), and
+    the poll loop heartbeats every held lease — including across retry
+    backoff, so a slow-but-alive worker is never robbed mid-cell.
     """
     ctx = pool_context()
     results: Dict[str, Tuple[str, Any, int]] = {}
@@ -555,12 +665,30 @@ def _execute_cells(
 
     try:
         while queue or backlog or active:
+            if coord is not None:
+                coord.tick()
             now = time.monotonic()
             while backlog and backlog[0][0] <= now:
                 _, _, spec, attempt = heapq.heappop(backlog)
                 queue.append((spec, attempt))
             while queue and len(active) < jobs:
                 spec, attempt = queue.popleft()
+                if coord is not None and not coord.holds(spec.cell_id):
+                    verdict, payload = coord.begin(spec)
+                    if verdict == "done":
+                        obs.counter("resilience/cells_adopted").add()
+                        results[spec.cell_id] = ("adopted", payload, 0)
+                        if on_adopted is not None:
+                            on_adopted(spec, payload)
+                        continue
+                    if verdict == "wait":
+                        heapq.heappush(
+                            backlog,
+                            (time.monotonic() + payload, next(tiebreak), spec, attempt),
+                        )
+                        continue
+                if attempt == 1:
+                    obs.counter("resilience/cells_attempted").add()
                 recv, send = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_cell_worker, args=(send, spec.kind, spec.params), daemon=True
@@ -625,10 +753,14 @@ def _execute_cells(
                     finish(spec, "failed", error.to_dict(), attempt)
     except BaseException:
         # Clean teardown on Ctrl-C / SIGTERM / anything: no orphan
-        # workers, and every completed cell is already checkpointed.
+        # workers, every completed cell is already checkpointed, and
+        # held leases are relinquished so peers pick the cells up
+        # immediately instead of waiting out the TTL.
         for proc, recv, _, _, _ in active.values():
             _terminate(proc)
             recv.close()
+        if coord is not None:
+            coord.abandon_all()
         raise
     return results
 
@@ -638,6 +770,26 @@ def _execute_cells(
 # ---------------------------------------------------------------------------
 
 
+def effective_lease_ttl(
+    lease_ttl: Optional[float],
+    heartbeat_s: Optional[float],
+    retry: Optional[RetryPolicy] = None,
+) -> float:
+    """Resolve the lease TTL, auto-scaling the default past ``--timeout``.
+
+    An explicit TTL is taken as given (the CLI validates it at parse
+    time). The default grows to cover the per-cell timeout plus two
+    heartbeat intervals, so a live lease can never expire mid-cell by
+    construction — heartbeats renew during simulation, but the TTL
+    still bounds how stale a *crashed* owner's last renewal may look.
+    """
+    hb = heartbeat_s if heartbeat_s is not None else DEFAULT_HEARTBEAT_S
+    if lease_ttl is not None:
+        return float(lease_ttl)
+    timeout = retry.timeout_s if retry is not None else None
+    return max(DEFAULT_LEASE_TTL_S, (timeout or 0.0) + 2.0 * hb)
+
+
 def execute_sweep(
     plan: SweepPlan,
     run_dir: Union[str, Path],
@@ -645,6 +797,9 @@ def execute_sweep(
     retry: Optional[RetryPolicy] = None,
     obs: Optional[Registry] = None,
     verify: bool = True,
+    owner: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
+    heartbeat_s: Optional[float] = None,
 ):
     """Run (or continue) a checkpointed sweep; returns the assembled pieces.
 
@@ -652,6 +807,14 @@ def execute_sweep(
     is the experiment's normal result object (with failures recorded
     structurally) and ``envelope`` the final versioned document, also
     written atomically to ``<run-dir>/envelope.json``.
+
+    Serial, ``--jobs`` and multi-worker (``repro work``) execution all
+    route through one lease-protocol code path: every pending cell is
+    claimed before launch, heartbeat-renewed while simulating, and
+    settled by the first durable record (docs/COORD.md). ``owner``
+    names this worker in lease files (default: a fresh
+    ``host:pid:nonce`` id); ``lease_ttl``/``heartbeat_s`` are the
+    ``--lease-ttl``/``--heartbeat`` knobs.
     """
     retry = retry if retry is not None else RetryPolicy()
     obs = obs if obs is not None else NULL_REGISTRY
@@ -667,23 +830,44 @@ def execute_sweep(
 
     obs.counter("resilience/cells_total").add(len(plan.cells))
     obs.counter("resilience/cells_skipped").add(len(done))
-    obs.counter("resilience/cells_attempted").add(len(pending))
+    obs.counter("resilience/cells_attempted").add(0)
     if resumed:
         obs.counter("resilience/cells_resumed").add(len(pending))
 
     records: Dict[str, Dict[str, Any]] = dict(done)
+    coord = CellCoordinator(
+        rd,
+        owner=owner,
+        ttl_s=effective_lease_ttl(lease_ttl, heartbeat_s, retry),
+        heartbeat_s=heartbeat_s if heartbeat_s is not None else DEFAULT_HEARTBEAT_S,
+        obs=obs,
+    )
 
     def on_done(spec: CellSpec, status: str, payload: Any, attempts: int) -> None:
         if status == "ok":
-            record, _ = rd.write_cell(spec, "ok", result=payload, attempts=attempts)
+            record = coord.commit(spec, "ok", result=payload, attempts=attempts)
         else:
-            record, _ = rd.write_cell(spec, "failed", error=payload, attempts=attempts)
+            record = coord.commit(spec, "failed", error=payload, attempts=attempts)
         records[spec.cell_id] = record
 
-    if pending:
-        _sigterm_guard(
-            lambda: _execute_cells(pending, jobs=jobs, retry=retry, on_done=on_done, obs=obs)
-        )
+    def on_adopted(spec: CellSpec, record: Dict[str, Any]) -> None:
+        records[spec.cell_id] = record
+
+    try:
+        if pending:
+            _sigterm_guard(
+                lambda: _execute_cells(
+                    pending,
+                    jobs=jobs,
+                    retry=retry,
+                    on_done=on_done,
+                    obs=obs,
+                    coord=coord,
+                    on_adopted=on_adopted,
+                )
+            )
+    finally:
+        coord.finalize(all_recorded=all(spec.cell_id in records for spec in plan.cells))
 
     result = PLAN_ASSEMBLERS[plan.plan](plan, records)
     envelope = _resilient_envelope(plan, result, manifest, records)
@@ -697,13 +881,97 @@ def resume_run(
     retry: Optional[RetryPolicy] = None,
     obs: Optional[Registry] = None,
     verify: bool = True,
+    owner: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
+    heartbeat_s: Optional[float] = None,
 ):
     """Re-execute only the missing/failed cells of an interrupted sweep."""
+    return work_run(
+        run_dir,
+        jobs=jobs,
+        retry=retry,
+        obs=obs,
+        verify=verify,
+        owner=owner,
+        lease_ttl=lease_ttl,
+        heartbeat_s=heartbeat_s,
+    )
+
+
+def work_run(
+    run_dir: Union[str, Path],
+    jobs: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    obs: Optional[Registry] = None,
+    verify: bool = True,
+    owner: Optional[str] = None,
+    lease_ttl: Optional[float] = None,
+    heartbeat_s: Optional[float] = None,
+):
+    """Drain a shared run dir as one cooperating worker (``repro work``).
+
+    The plan comes from the manifest, so any number of workers pointed
+    at the same directory execute the identical cell list: each claims
+    what it can, adopts what others finish, steals from the dead, and
+    whichever workers reach the end assemble the same envelope bytes.
+    ``repro resume`` is this exact code path — resume *is* a drain.
+    """
     rd = RunDir(run_dir)
     manifest = rd.load_manifest(verify=verify)
     plan = rd.plan_from_manifest(manifest)
     set_global_seed(plan.seed)
-    return execute_sweep(plan, run_dir, jobs=jobs, retry=retry, obs=obs, verify=verify)
+    return execute_sweep(
+        plan,
+        run_dir,
+        jobs=jobs,
+        retry=retry,
+        obs=obs,
+        verify=verify,
+        owner=owner,
+        lease_ttl=lease_ttl,
+        heartbeat_s=heartbeat_s,
+    )
+
+
+def status_run(run_dir: Union[str, Path], verify: bool = True) -> Dict[str, Any]:
+    """Per-cell record/lease/owner state of a run dir (``repro status``)."""
+    rd = RunDir(run_dir)
+    manifest = rd.load_manifest(verify=verify)
+    plan = rd.plan_from_manifest(manifest)
+    records = rd.read_cells(plan, verify=verify)
+    leases = LeaseManager(rd.leases_dir).observe_all()
+    cells = []
+    counts = {"total": len(plan.cells), "ok": 0, "failed": 0, "leased": 0, "pending": 0}
+    for spec in plan.cells:
+        record = records.get(spec.cell_id)
+        lease = leases.get(spec.cell_id)
+        if record is not None:
+            state = record.get("status", "pending")
+        elif lease is not None:
+            state = "leased"
+        else:
+            state = "pending"
+        counts[state if state in counts else "pending"] += 1
+        cells.append(
+            {
+                "cell_id": spec.cell_id,
+                "state": state,
+                "attempts": None if record is None else record.get("attempts"),
+                "owner": None if lease is None else lease.owner,
+                "token": None if lease is None else lease.token,
+                "heartbeats": None if lease is None else lease.heartbeats,
+                "elapsed_s": None if lease is None else lease.elapsed_s,
+            }
+        )
+    return {
+        "run_id": manifest["run_id"],
+        "plan": manifest["plan"],
+        "experiment": manifest["experiment"],
+        "config_hash": manifest["config_hash"],
+        "envelope": rd.envelope_path.exists(),
+        "counts": counts,
+        "cells": cells,
+    }
 
 
 def _sigterm_guard(work: Callable[[], Any]) -> Any:

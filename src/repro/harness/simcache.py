@@ -302,8 +302,24 @@ class SimCache:
         Recency is the entry file's mtime (reads do not touch it, so
         this is least-recently-*stored* on filesystems without atime).
         Returns ``(removed, remaining_bytes)``.
+
+        Concurrent workers may clear or re-prune the same directory
+        while this pass walks it, so an entry vanishing between listing
+        and stat, or between stat and unlink, is an expected race — it
+        is skipped (and its bytes no longer count as remaining) and
+        tallied under ``simcache/prune_skipped``, never an error.
         """
-        entries = sorted(self._entries(), key=lambda e: (e[1].st_mtime, e[0]))
+        entries = []
+        if self.root is not None and self.root.exists():
+            for shard in sorted(self.root.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for path in sorted(shard.glob("*.json")):
+                    try:
+                        entries.append((path, path.stat()))
+                    except OSError:
+                        self._count("prune_skipped")
+        entries.sort(key=lambda e: (e[1].st_mtime, e[0]))
         total = sum(st.st_size for _, st in entries)
         removed = 0
         for path, st in entries:
@@ -311,6 +327,10 @@ class SimCache:
                 break
             try:
                 path.unlink()
+            except FileNotFoundError:
+                self._count("prune_skipped")
+                total -= st.st_size
+                continue
             except OSError:
                 continue
             total -= st.st_size

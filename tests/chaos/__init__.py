@@ -1,0 +1,8 @@
+"""Chaos harness: real worker processes, seeded SIGKILL schedules.
+
+The convergence property under test (docs/COORD.md): for any seeded
+kill schedule, a shared run dir drained by several ``repro work``
+workers — some of them SIGKILLed mid-cell, mid-heartbeat, or between
+claim and record — followed by one ``repro resume`` converges to the
+same canonical envelope bytes as an uninterrupted serial run.
+"""

@@ -1,0 +1,72 @@
+"""Deterministic synthetic cells for the chaos harness.
+
+Each cell sleeps long enough for heartbeats (and kill hooks keyed on
+them) to fire, then returns a digest of its own parameters — a value
+that is trivially deterministic, so any divergence between a chaotic
+drain and a serial run is a coordination bug, not a simulation one.
+
+Imported for its side effects (runner + assembler registration) by the
+test module and by every spawned worker process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+
+from repro.harness.resilience import (
+    PLAN_ASSEMBLERS,
+    CellSpec,
+    SweepPlan,
+    register_cell_runner,
+)
+
+
+def chaos_cell(params):
+    time.sleep(params.get("sleep_s", 0.05))
+    blob = json.dumps(params, sort_keys=True).encode()
+    return {"digest": hashlib.sha256(blob).hexdigest(), "x": params["x"]}
+
+
+register_cell_runner("chaos", chaos_cell)
+
+
+def _assemble(plan, records):
+    """Deterministic assembly in plan order, independent of which
+    worker finished which cell."""
+    rows = {}
+    failed = []
+    for spec in plan.cells:
+        record = records.get(spec.cell_id)
+        if record is not None and record.get("status") == "ok":
+            rows[spec.cell_id] = record["result"]
+        else:
+            failed.append(spec.cell_id)
+    return {"rows": rows, "failed": failed}
+
+
+PLAN_ASSEMBLERS["chaos"] = _assemble
+
+
+def chaos_plan(n_cells: int = 8, seed: int = 0) -> SweepPlan:
+    """A seeded plan whose cell sleeps exceed the chaos heartbeat
+    interval, so kill-during-heartbeat hooks always get a chance."""
+    rng = random.Random(seed)
+    cells = [
+        CellSpec(
+            f"c{i:02d}",
+            "chaos",
+            {"x": i, "sleep_s": round(rng.uniform(0.15, 0.3), 3)},
+        )
+        for i in range(n_cells)
+    ]
+    return SweepPlan(
+        plan="chaos",
+        experiment="chaos",
+        description="chaos convergence cells",
+        seed=seed,
+        params={"n_cells": n_cells},
+        cells=cells,
+    )

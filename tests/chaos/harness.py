@@ -1,0 +1,85 @@
+"""Seeded kill schedules and worker-process control for the chaos tests."""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO = Path(__file__).resolve().parents[2]
+WORKER_MAIN = REPO / "tests" / "chaos" / "worker_main.py"
+
+#: The three protocol-critical kill instants (docs/COORD.md):
+#: right after a claim (lease exists, no work started), right after a
+#: heartbeat renewal (mid-cell, lease looks fresh), and right after a
+#: durable cell record (the pre-existing checkpoint hook).
+KILL_HOOKS = (
+    "REPRO_KILL_AFTER_CLAIMS",
+    "REPRO_KILL_AFTER_HEARTBEATS",
+    "REPRO_KILL_AFTER_CELLS",
+)
+
+
+def worker_env(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """A clean worker environment: no inherited kill hooks, repo and
+    src importable."""
+    env = {k: v for k, v in os.environ.items() if k not in KILL_HOOKS}
+    env["PYTHONPATH"] = f"{REPO}{os.pathsep}{REPO / 'src'}"
+    if extra:
+        env.update(extra)
+    return env
+
+
+def kill_schedule(seed: int, workers: int = 3, min_kills: int = 2) -> List[Dict[str, str]]:
+    """One seeded schedule: per-worker env overrides, ≥ ``min_kills``
+    of them armed with a kill hook that fires on its first event."""
+    rng = random.Random(seed)
+    schedule: List[Dict[str, str]] = [{} for _ in range(workers)]
+    n_victims = rng.randint(min(min_kills, workers), workers)
+    for victim in rng.sample(range(workers), n_victims):
+        schedule[victim] = {rng.choice(KILL_HOOKS): "1"}
+    return schedule
+
+
+def spawn_workers(
+    run_dir,
+    schedule: List[Dict[str, str]],
+    lease_ttl: float = 1.0,
+    heartbeat_s: float = 0.1,
+) -> List[subprocess.Popen]:
+    return [
+        subprocess.Popen(
+            [
+                sys.executable,
+                str(WORKER_MAIN),
+                str(run_dir),
+                "--lease-ttl",
+                str(lease_ttl),
+                "--heartbeat",
+                str(heartbeat_s),
+            ],
+            env=worker_env(extra),
+            cwd=str(REPO),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for extra in schedule
+    ]
+
+
+def drain(procs: List[subprocess.Popen], timeout: float = 120.0) -> List[int]:
+    """Wait every worker out (hard-killing any that hang past
+    ``timeout``); returns their exit codes."""
+    codes = []
+    for proc in procs:
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+        codes.append(proc.returncode)
+    return codes

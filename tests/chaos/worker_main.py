@@ -1,0 +1,43 @@
+"""Subprocess entry point: one chaos worker draining a shared run dir.
+
+Runs the exact ``repro work`` code path (``work_run``) after
+registering the synthetic chaos cells. Kill hooks arrive via the
+environment (``REPRO_KILL_AFTER_CLAIMS`` / ``_HEARTBEATS`` /
+``_CELLS``), so a scheduled victim SIGKILLs itself at a protocol-
+critical instant and the survivors carry on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+for entry in (str(REPO), str(REPO / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import tests.chaos.cells  # noqa: E402,F401 - registers the chaos runner
+from repro.harness.resilience import RetryPolicy, work_run  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("run_dir")
+    parser.add_argument("--lease-ttl", type=float, default=1.0)
+    parser.add_argument("--heartbeat", type=float, default=0.1)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    work_run(
+        args.run_dir,
+        jobs=args.jobs,
+        retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01, backoff_factor=1.0),
+        lease_ttl=args.lease_ttl,
+        heartbeat_s=args.heartbeat,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
