@@ -18,6 +18,7 @@ Usage::
     python -m repro export alexnet --out results/   # CSV + JSON breakdown
     python -m repro run fig11 --cache-dir ~/.repro-cache   # warm reruns
     python -m repro cache stats --cache-dir ~/.repro-cache # inspect it
+    python -m repro serve --spool /tmp/spool --port 8765   # HTTP job server
 
 ``run``/``compare`` accept ``--json``/``--csv`` paths; ``profile`` and
 ``faults`` accept ``--json``. The JSON layout is the versioned
@@ -58,6 +59,13 @@ and stealing cells whose owner died; ``repro status DIR`` shows the
 per-cell record/lease/owner state. ``--lease-ttl``/``--heartbeat``
 tune the protocol (validated at parse time: the TTL must exceed the
 heartbeat interval, and any ``--timeout`` plus one heartbeat).
+
+``repro serve`` (docs/SERVE.md) turns the simulator into a long-running
+HTTP job service: ``POST /jobs`` accepts versioned ``repro.job/v1``
+requests for the sweep-shaped verbs, each job materializes an ordinary
+run dir under ``--spool`` (joinable by external ``repro work``
+processes), and a killed server resumes unfinished jobs from the spool
+on restart.
 
 Sweep cells are additionally **memoized** (docs/PERFORMANCE.md):
 ``run``/``compare``/``faults``/``bench``/``explore``/``resume`` take
@@ -509,6 +517,29 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy import: the server pulls in asyncio plumbing no other verb needs.
+    from .harness.serve import ServeConfig, serve_forever
+
+    if not (0 <= args.port <= 65535):
+        print(f"error: --port must be in [0, 65535], got {args.port}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        spool=Path(args.spool),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        job_timeout_s=args.job_timeout,
+        cell_jobs=args.jobs,
+        retries=args.retries,
+        cell_timeout_s=args.cell_timeout,
+        lease_ttl=getattr(args, "lease_ttl", None),
+        heartbeat_s=getattr(args, "heartbeat", None),
+    )
+    return serve_forever(config)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .harness.serialize import run_stats_rows
 
@@ -878,6 +909,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune target: keep at most N bytes of entries",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP job server: accept repro.job/v1 requests and "
+             "drain them on the coordination substrate (docs/SERVE.md)",
+    )
+    serve.add_argument(
+        "--spool", metavar="DIR", required=True,
+        help="directory for job state and run dirs; rescanned on restart "
+             "so accepted jobs survive a server crash",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8765, metavar="N",
+        help="TCP port; 0 picks an ephemeral port, published in "
+             "<spool>/serve.json (default 8765)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="concurrent job drains (default 2)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=_positive_int, default=16, metavar="N",
+        help="max QUEUED jobs before POST /jobs answers 429 (default 16)",
+    )
+    serve.add_argument(
+        "--timeout", dest="job_timeout", type=_positive_float, default=None, metavar="S",
+        help="per-job wall-clock timeout in seconds; a request's "
+             "timeout_s overrides it (default none)",
+    )
+    serve.add_argument(
+        "--cell-timeout", type=_positive_float, default=None, metavar="S",
+        help="per-cell timeout inside each drain (default none)",
+    )
+    serve.add_argument(
+        "--retries", type=_positive_int, default=3, metavar="N",
+        help="max attempts per cell incl. the first (default 3)",
+    )
+    _add_lease_flags(serve)
+    _add_jobs_flag(serve)
+    _add_cache_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     export = sub.add_parser("export", help="save a breakdown as CSV + JSON")
     export.add_argument("network", help=f"one of: {', '.join(MEMORY_TABLE)}")

@@ -34,6 +34,9 @@ with one clause, or narrow to a family:
   :class:`LeaseError`: this process's lease expired and another worker
   stole the cell. Raised on the next heartbeat so the loser can finish
   its attempt and defer to the first durable record.
+- :class:`JobError` — a ``repro serve`` job request (``repro.job/v1``)
+  is malformed, or a job state transition is illegal (docs/SERVE.md).
+  Carries the offending field so the HTTP 400 body can name it.
 
 Every pre-existing concrete class also subclasses :class:`ValueError`:
 the seed codebase raised bare ``ValueError`` for those conditions, and
@@ -64,6 +67,7 @@ __all__ = [
     "CellError",
     "LeaseError",
     "StaleOwnerError",
+    "JobError",
 ]
 
 
@@ -215,6 +219,24 @@ class LeaseError(ReproError, RuntimeError):
         if owner is not None:
             where.append(f"owner={owner}")
         suffix = f" [{', '.join(where)}]" if where else ""
+        super().__init__(message + suffix)
+
+
+class JobError(ReproError, ValueError):
+    """A ``repro serve`` job request or state transition is invalid.
+
+    Raised for malformed ``repro.job/v1`` documents (unknown verb,
+    missing/extra fields, out-of-domain parameter values) and for
+    illegal job state-machine transitions (e.g. cancelling a job that
+    already reached a terminal state). ``field`` names the offending
+    request field when one can be pinpointed. Subclasses
+    :class:`ValueError` so generic request-validation call sites can
+    treat it like the other bad-value taxonomy members.
+    """
+
+    def __init__(self, message: str, *, field: Optional[str] = None):
+        self.field = field
+        suffix = f" [field={field}]" if field is not None else ""
         super().__init__(message + suffix)
 
 

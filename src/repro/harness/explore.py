@@ -788,7 +788,7 @@ def _init_marker(root: Path, request: ExploreRequest, verify: bool) -> None:
     doc = _marker_doc(request)
     if path.exists():
         existing = load_json(path, verify=verify)
-        if existing.get("config_hash") != doc["config_hash"]:
+        if not isinstance(existing, dict) or existing.get("config_hash") != doc["config_hash"]:
             raise ArtifactIntegrityError(
                 "run directory belongs to a different explore request",
                 path=str(path),
@@ -1000,9 +1000,21 @@ def explore_resume(
             reason="unreadable",
         )
     doc = load_json(path, verify=verify)
+    if not isinstance(doc, dict):
+        raise ArtifactIntegrityError(
+            f"explore marker is not a JSON object ({type(doc).__name__})",
+            path=str(path),
+            reason="manifest_mismatch",
+        )
     if doc.get("schema") != MARKER_SCHEMA:
         raise ArtifactIntegrityError(
             f"unknown explore marker schema {doc.get('schema')!r}",
+            path=str(path),
+            reason="manifest_mismatch",
+        )
+    if not isinstance(doc.get("request"), dict):
+        raise ArtifactIntegrityError(
+            "explore marker carries no request object",
             path=str(path),
             reason="manifest_mismatch",
         )

@@ -482,6 +482,13 @@ class RunDir:
                 reason="unreadable",
             )
         manifest = load_json(self.manifest_path, verify=verify)
+        if not isinstance(manifest, dict):
+            raise ArtifactIntegrityError(
+                f"manifest is not a JSON object ({type(manifest).__name__}) — "
+                "not a run directory",
+                path=str(self.manifest_path),
+                reason="manifest_mismatch",
+            )
         if manifest.get("schema") != RUN_SCHEMA:
             raise ArtifactIntegrityError(
                 f"unknown manifest schema {manifest.get('schema')!r}",
@@ -598,22 +605,47 @@ class RunDir:
 
 
 def _cell_worker(conn, kind: str, params: Dict[str, Any]) -> None:
-    """Child-process entry: run one cell, ship (status, payload) back."""
+    """Child-process entry: run one cell, ship (status, payload, counters) back.
+
+    The child installs a fresh enabled registry as its process-global one
+    so counters recorded inside the cell (notably ``simcache/*`` — the
+    cache resolves ``get_registry()`` per lookup) survive the process
+    boundary: they ride back as the third message element and the parent
+    merges them into its own registry.
+    """
+    from ..obs import Registry, set_registry
+
+    worker_obs = Registry()
+    set_registry(worker_obs)
+
+    def counters() -> Dict[str, int]:
+        return dict(worker_obs.snapshot())
+
     try:
         runner = CELL_RUNNERS.get(kind)
         if runner is None:
-            conn.send(("error", f"no cell runner registered for kind {kind!r}"))
+            conn.send(("error", f"no cell runner registered for kind {kind!r}", {}))
             return
         from .serialize import to_jsonable
 
-        conn.send(("ok", to_jsonable(runner(params))))
+        conn.send(("ok", to_jsonable(runner(params)), counters()))
     except BaseException as exc:  # noqa: BLE001 - isolation boundary
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(("error", f"{type(exc).__name__}: {exc}", counters()))
         except Exception:
             pass
     finally:
         conn.close()
+
+
+def _merge_worker_counters(obs: Registry, message) -> None:
+    """Fold a worker's counter snapshot (3rd message element) into ``obs``."""
+    if len(message) < 3 or not isinstance(message[2], dict):
+        return  # old 2-tuple protocol, or garbage — nothing to merge
+    for path, value in message[2].items():
+        # snapshot() hands back floats; bools are never counters
+        if isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0:
+            obs.counter(path).add(int(value))
 
 
 def _terminate(proc) -> None:
@@ -727,8 +759,10 @@ def _execute_cells(
                         message = None
                     if message is not None and message[0] == "ok":
                         outcome = ("ok", message[1])
+                        _merge_worker_counters(obs, message)
                     elif message is not None:
                         outcome = ("exception", message[1])
+                        _merge_worker_counters(obs, message)
                     else:
                         outcome = (
                             "crash",

@@ -66,6 +66,96 @@ class TestRunDirUsage:
         assert "manifest" in capsys.readouterr().err
 
 
+class TestNotARunDir:
+    """status/work/resume on malformed run dirs: structured exit 2,
+    never a raw traceback (AttributeError/KeyError)."""
+
+    @pytest.mark.parametrize("verb", ["status", "work", "resume"])
+    def test_missing_manifest(self, verb, capsys, tmp_path):
+        assert main([verb, str(tmp_path / "empty")]) == 2
+        assert "not a run directory" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("verb", ["status", "work"])
+    def test_non_object_manifest(self, verb, capsys, tmp_path):
+        """A manifest holding valid JSON that is not an object used to
+        surface a raw AttributeError traceback."""
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "manifest.json").write_text("[1, 2, 3]\n")
+        assert main([verb, str(run), "--no-verify"]) == 2
+        err = capsys.readouterr().err
+        assert "not a JSON object" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("verb", ["work", "resume"])
+    def test_explore_marker_without_request(self, verb, capsys, tmp_path):
+        """An explore marker missing its request body used to surface a
+        raw KeyError traceback through explore_resume."""
+        from repro.harness.explore import EXPLORE_MARKER, MARKER_SCHEMA
+        from repro.harness.serialize import save_json
+
+        run = tmp_path / "run"
+        run.mkdir()
+        save_json(
+            {"schema": MARKER_SCHEMA, "schema_version": 1, "config_hash": "0" * 12},
+            run / EXPLORE_MARKER,
+        )
+        assert main([verb, str(run)]) == 2
+        err = capsys.readouterr().err
+        assert "no request object" in err
+        assert "Traceback" not in err
+
+    def test_non_object_explore_marker(self, capsys, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "explore.json").write_text('"just a string"\n')
+        assert main(["resume", str(run), "--no-verify"]) == 2
+        assert "not a JSON object" in capsys.readouterr().err
+
+
+class TestServeArgs:
+    """serve argument validation: rejected at parse time or exit 2."""
+
+    def test_spool_is_required(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve"])
+        assert exit_info.value.code == 2
+        assert "--spool" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("port", ["-1", "65536"])
+    def test_out_of_range_port(self, port, capsys, tmp_path):
+        assert main(["serve", "--spool", str(tmp_path), "--port", port]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--workers", "--queue-limit"])
+    def test_non_positive_counts_rejected(self, flag, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--spool", str(tmp_path), flag, "0"])
+        assert exit_info.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--timeout", "--cell-timeout", "--heartbeat"])
+    def test_non_positive_seconds_rejected(self, flag, capsys, tmp_path):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--spool", str(tmp_path), flag, "-2"])
+        assert exit_info.value.code == 2
+        assert "positive number" in capsys.readouterr().err
+
+    def test_inconsistent_lease_ttl_rejected(self, capsys, tmp_path):
+        assert main(
+            ["serve", "--spool", str(tmp_path), "--lease-ttl", "1", "--heartbeat", "2"]
+        ) == 2
+        assert "--lease-ttl" in capsys.readouterr().err
+
+    def test_good_serve_args_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--spool", "s", "--port", "0", "--workers", "3", "--timeout", "60"]
+        )
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.job_timeout == 60.0
+
+
 class TestExportOverwrite:
     def test_export_refuses_then_forces(self, capsys, tmp_path):
         out = str(tmp_path / "results")

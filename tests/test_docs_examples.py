@@ -36,6 +36,8 @@ SKIP_PATTERNS = (
     "--accuracy quant",   # mini-model training
     "pytest",             # the suite running itself
     "REPRO_KILL_AFTER_CELLS",  # deliberate crash demos
+    "repro serve",        # long-running server — covered by tests/test_serve.py
+    "repro work runs/spool",  # needs a live server's spool to join
 )
 
 

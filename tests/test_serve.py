@@ -1,0 +1,428 @@
+"""Black-box protocol battery for ``repro serve``.
+
+Every test here drives the real server: a ``python -m repro serve``
+subprocess on an ephemeral port, spoken to with ``urllib`` only. The
+suite covers the happy path per verb, the 400/404/429 error surface,
+cancellation releasing leases, cross-job dedup through the simcache,
+and the headline recovery guarantee: SIGKILL the server mid-job, start
+a fresh one on the same spool, and every accepted job completes with an
+envelope byte-identical to a cold serial run and zero leases left.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.harness.resilience import canonical_envelope_bytes
+from repro.harness.serialize import load_json
+
+REPO = Path(__file__).resolve().parents[1]
+JOB_SCHEMA = "repro.job/v1"
+
+#: A job slow enough (~25 cells, each its own worker process) to be
+#: observed RUNNING, cancelled mid-drain, or SIGKILLed mid-drain.
+SLOW_RATES = [round(i * 1e-4, 6) for i in range(24)]
+SLOW_FAULTS = {
+    "schema": JOB_SCHEMA,
+    "verb": "faults",
+    "network": "alexnet",
+    "params": {"rates": SLOW_RATES, "widths": [24]},
+    "seed": 7,
+}
+TINY_FAULTS = {
+    "schema": JOB_SCHEMA,
+    "verb": "faults",
+    "network": "alexnet",
+    "params": {"rates": [0.0, 1e-4, 1e-3], "widths": [16, 24]},
+    "seed": 7,
+}
+EXPLORE_SPACE = {
+    "clusters": [4, 8],
+    "groups": [6],
+    "buffers_kib": [96],
+    "ratios": [0.01],
+    "acc_bits": [16],
+}
+TINY_EXPLORE = {
+    "schema": JOB_SCHEMA,
+    "verb": "explore",
+    "network": "alexnet",
+    "params": {"space": EXPLORE_SPACE},
+    "seed": 7,
+}
+TERMINAL = {"DONE", "FAILED", "CANCELLED"}
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_CACHE_DIR", None)
+    env.pop("REPRO_NO_CACHE", None)
+    return env
+
+
+def repro_cli(*args):
+    """Run one `python -m repro ...` to completion; returns the exit code."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=_env(),
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+        timeout=600,
+    ).returncode
+
+
+class Server:
+    """One `repro serve` subprocess in its own session (killpg-safe)."""
+
+    def __init__(self, spool: Path, *extra_args: str):
+        self.spool = Path(spool)
+        self.log = open(self.spool.parent / f"{self.spool.name}.log", "ab")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--spool", str(self.spool), "--port", "0", *extra_args,
+            ],
+            env=_env(),
+            cwd=REPO,
+            stdout=self.log,
+            stderr=subprocess.STDOUT,
+            start_new_session=True,
+        )
+        self.port = None
+
+    def wait_ready(self, timeout=60.0):
+        """Poll the spool's discovery file until *this* process owns it."""
+        discovery = self.spool / "serve.json"
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(f"server exited early with {self.proc.returncode}")
+            if discovery.exists():
+                try:
+                    doc = json.loads(discovery.read_text())
+                except (ValueError, OSError):
+                    doc = {}
+                if doc.get("pid") == self.proc.pid:
+                    self.port = doc["port"]
+                    return self
+            time.sleep(0.05)
+        raise TimeoutError("server never published serve.json")
+
+    def request(self, method, path, doc=None, raw=False):
+        data = json.dumps(doc).encode() if doc is not None else None
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}", data=data, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                body = resp.read()
+                return resp.status, body if raw else json.loads(body), dict(resp.headers)
+        except urllib.error.HTTPError as err:
+            body = err.read()
+            return err.code, body if raw else json.loads(body), dict(err.headers)
+
+    def submit(self, doc):
+        status, body, _ = self.request("POST", "/jobs", doc)
+        assert status == 202, body
+        return body["job_id"]
+
+    def wait_job(self, job_id, timeout=300.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, doc, _ = self.request("GET", f"/jobs/{job_id}")
+            if doc["state"] in TERMINAL:
+                return doc
+            time.sleep(0.1)
+        raise TimeoutError(f"job {job_id} never settled")
+
+    def wait_running(self, job_id, min_leased=0, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, doc, _ = self.request("GET", f"/jobs/{job_id}")
+            if doc["state"] in TERMINAL:
+                raise AssertionError(f"job settled early: {doc['state']} ({doc['detail']})")
+            if doc["state"] == "RUNNING" and doc["progress"]["cells_leased"] >= min_leased:
+                return doc
+            time.sleep(0.05)
+        raise TimeoutError(f"job {job_id} never reached RUNNING")
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+                self.proc.kill()
+                self.proc.wait()
+        self.log.close()
+
+    def kill9(self):
+        """SIGKILL the whole server session: server, drains, cell workers."""
+        os.killpg(os.getpgid(self.proc.pid), signal.SIGKILL)
+        self.proc.wait()
+        self.log.close()
+
+
+@pytest.fixture
+def spool(tmp_path):
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    return spool
+
+
+@pytest.fixture(scope="module")
+def shared_server(tmp_path_factory):
+    spool = tmp_path_factory.mktemp("serve") / "spool"
+    spool.mkdir()
+    server = Server(spool, "--workers", "2").wait_ready()
+    yield server
+    server.stop()
+
+
+def run_dir_of(server, job_id):
+    _, doc, _ = server.request("GET", f"/jobs/{job_id}")
+    return Path(doc["run_dir"])
+
+
+def canonical_result(server, job_id):
+    _, body, _ = server.request("GET", f"/jobs/{job_id}/result", raw=True)
+    return canonical_envelope_bytes(json.loads(body))
+
+
+class TestHappyPaths:
+    def test_healthz(self, shared_server):
+        status, doc, _ = shared_server.request("GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["pid"] == shared_server.proc.pid
+
+    def test_run_job_matches_cli_reference(self, shared_server, tmp_path):
+        job_id = shared_server.submit(
+            {"schema": JOB_SCHEMA, "verb": "run", "experiment": "fig11", "seed": 7}
+        )
+        final = shared_server.wait_job(job_id)
+        assert final["state"] == "DONE", final
+        assert final["progress"]["cells_ok"] == final["progress"]["cells_total"]
+        assert final["progress"]["cells_leased"] == 0
+
+        reference = tmp_path / "reference"
+        assert repro_cli("run", "fig11", "--run-dir", str(reference), "--seed", "7") == 0
+        assert canonical_result(shared_server, job_id) == canonical_envelope_bytes(
+            load_json(reference / "envelope.json")
+        )
+
+    def test_compare_job(self, shared_server):
+        job_id = shared_server.submit(
+            {"schema": JOB_SCHEMA, "verb": "compare", "network": "alexnet",
+             "params": {"ratio": 0.05}, "seed": 3}
+        )
+        final = shared_server.wait_job(job_id)
+        assert final["state"] == "DONE", final
+        _, body, _ = shared_server.request("GET", f"/jobs/{job_id}/result", raw=True)
+        envelope = json.loads(body)
+        assert envelope["schema"].startswith("repro.experiment/")
+        assert "__integrity__" in envelope
+
+    def test_faults_job(self, shared_server):
+        job_id = shared_server.submit(TINY_FAULTS)
+        final = shared_server.wait_job(job_id)
+        assert final["state"] == "DONE", final
+        assert final["progress"]["cells_ok"] == 5  # 3 rates + 2 widths
+        assert final["obs"]["resilience/cells_succeeded"] == 5
+
+    def test_explore_job_matches_cli_reference(self, shared_server, tmp_path):
+        job_id = shared_server.submit(TINY_EXPLORE)
+        final = shared_server.wait_job(job_id)
+        assert final["state"] == "DONE", final
+
+        reference = tmp_path / "explore-ref"
+        assert repro_cli(
+            "explore", "alexnet", "--seed", "7", "--run-dir", str(reference),
+            "--clusters", "4", "8", "--groups", "6", "--buffers-kib", "96",
+            "--ratios", "0.01", "--acc-bits", "16",
+        ) == 0
+        assert canonical_result(shared_server, job_id) == canonical_envelope_bytes(
+            load_json(reference / "envelope.json")
+        )
+
+    def test_external_worker_can_join_a_server_job(self, shared_server):
+        """The spool's run dirs speak the ordinary coord protocol."""
+        job_id = shared_server.submit(TINY_FAULTS)
+        # join immediately: whichever side claims first, both converge
+        assert repro_cli("work", str(run_dir_of(shared_server, job_id))) == 0
+        final = shared_server.wait_job(job_id)
+        assert final["state"] == "DONE"
+        assert final["progress"]["cells_leased"] == 0
+
+
+class TestErrorSurface:
+    def test_malformed_json_is_400(self, shared_server):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{shared_server.port}/jobs",
+            data=b"{not json", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["error"] == "JobError"
+
+    def test_invalid_request_is_400_with_taxonomy_name(self, shared_server):
+        status, doc, _ = shared_server.request(
+            "POST", "/jobs", {"schema": JOB_SCHEMA, "verb": "faults",
+                              "network": "alexnet", "params": {"policy": "panic"}}
+        )
+        assert status == 400
+        assert doc["error"] == "JobError"
+        assert doc["field"] == "policy"
+
+    def test_unknown_job_is_404(self, shared_server):
+        for path in ("/jobs/job-000000000000", "/jobs/job-000000000000/result"):
+            status, doc, _ = shared_server.request("GET", path)
+            assert status == 404
+            assert doc["error"] == "NotFound"
+
+    def test_unknown_route_is_404_and_wrong_method_405(self, shared_server):
+        assert shared_server.request("GET", "/nope")[0] == 404
+        status, _, headers = shared_server.request("PUT", "/jobs")
+        assert status == 405
+        assert "Allow" in headers
+
+
+class TestQueueOverflow:
+    def test_429_with_retry_after(self, spool):
+        server = Server(spool, "--workers", "1", "--queue-limit", "1").wait_ready()
+        try:
+            first = server.submit(SLOW_FAULTS)
+            server.wait_running(first)  # drains; the queue is empty again
+            server.submit(TINY_FAULTS)  # fills the single queue slot
+            status, doc, headers = server.request("POST", "/jobs", TINY_FAULTS)
+            assert status == 429
+            assert doc["error"] == "QueueFull"
+            assert headers["Retry-After"]
+            # overflow never counts as submitted; the books still balance
+            stats = server.request("GET", "/stats")[1]
+            assert stats["jobs"]["submitted"] == 2
+            assert stats["jobs"]["reconciles"]
+            assert stats["counters"]["serve/jobs_rejected"] == 1
+        finally:
+            server.stop()
+
+
+class TestCancel:
+    def test_cancel_mid_run_releases_leases(self, spool):
+        server = Server(spool, "--workers", "1").wait_ready()
+        try:
+            job_id = server.submit(SLOW_FAULTS)
+            server.wait_running(job_id, min_leased=1)
+            status, doc, _ = server.request("DELETE", f"/jobs/{job_id}")
+            assert status == 202
+            assert doc["cancelling"]
+            final = server.wait_job(job_id, timeout=60)
+            assert final["state"] == "CANCELLED"
+            assert final["progress"]["cells_leased"] == 0
+            leases = run_dir_of(server, job_id) / "leases"
+            assert not leases.exists() or not list(leases.iterdir())
+            # cancelling a settled job is an illegal transition
+            status, doc, _ = server.request("DELETE", f"/jobs/{job_id}")
+            assert status == 409
+            assert doc["error"] == "JobError"
+            stats = server.request("GET", "/stats")[1]["jobs"]
+            assert stats["cancelled"] == 1
+            assert stats["reconciles"]
+        finally:
+            server.stop()
+
+
+class TestSimcacheDedup:
+    def test_duplicate_submissions_pay_each_cell_once(self, spool, tmp_path):
+        cache_dir = tmp_path / "cache"
+        server = Server(
+            spool, "--workers", "1", "--cache-dir", str(cache_dir)
+        ).wait_ready()
+        try:
+            # both jobs are queued concurrently; the single worker
+            # serializes them, so the second must replay from the cache
+            first = server.submit(TINY_FAULTS)
+            second = server.submit(TINY_FAULTS)
+            final_first = server.wait_job(first)
+            final_second = server.wait_job(second)
+            assert final_first["state"] == final_second["state"] == "DONE"
+
+            assert final_first["obs"]["simcache/misses"] > 0
+            assert final_second["obs"].get("simcache/misses", 0) == 0
+            assert final_second["obs"]["simcache/hits"] >= 5  # every cell
+            assert final_second["obs"]["simcache/lookups"] == (
+                final_second["obs"]["simcache/hits"]
+                + final_second["obs"].get("simcache/misses", 0)
+                + final_second["obs"].get("simcache/bypassed", 0)
+            )
+            # identical bytes, and identical to an uncached serial run
+            assert canonical_result(server, first) == canonical_result(server, second)
+            reference = tmp_path / "reference"
+            assert repro_cli(
+                "faults", "alexnet", "--rates", "0", "0.0001", "0.001",
+                "--widths", "16", "24", "--seed", "7", "--run-dir", str(reference),
+            ) == 0
+            assert canonical_result(server, first) == canonical_envelope_bytes(
+                load_json(reference / "envelope.json")
+            )
+        finally:
+            server.stop()
+
+
+class TestKillRecovery:
+    def test_sigkill_mid_job_then_restart_completes(self, spool, tmp_path):
+        server = Server(spool, "--workers", "1").wait_ready()
+        job_id = server.submit(SLOW_FAULTS)
+        queued_id = server.submit(TINY_FAULTS)  # never starts before the kill
+        # let it record at least one cell so the restart genuinely resumes
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            doc = server.request("GET", f"/jobs/{job_id}")[1]
+            if doc["progress"]["cells_ok"] >= 1 and doc["state"] == "RUNNING":
+                break
+            time.sleep(0.05)
+        else:  # pragma: no cover - hang guard
+            pytest.fail("job never made progress")
+        server.kill9()
+
+        # the dead drain's leases are still on disk — the restart must
+        # steal them (dead-owner fast path) and finish the job
+        restarted = Server(spool, "--workers", "1").wait_ready()
+        try:
+            final = restarted.wait_job(job_id)
+            assert final["state"] == "DONE", final
+            assert restarted.wait_job(queued_id)["state"] == "DONE"
+            for finished in (job_id, queued_id):
+                progress = restarted.request("GET", f"/jobs/{finished}")[1]["progress"]
+                assert progress["cells_leased"] == 0
+                leases = run_dir_of(restarted, finished) / "leases"
+                assert not leases.exists() or not list(leases.iterdir())
+
+            reference = tmp_path / "reference"
+            rates = [str(r) for r in SLOW_RATES]
+            assert repro_cli(
+                "faults", "alexnet", "--rates", *rates, "--widths", "24",
+                "--seed", "7", "--run-dir", str(reference),
+            ) == 0
+            assert canonical_result(restarted, job_id) == canonical_envelope_bytes(
+                load_json(reference / "envelope.json")
+            )
+            stats = restarted.request("GET", "/stats")[1]["jobs"]
+            assert stats["submitted"] == 2
+            assert stats["completed"] == 2
+            assert stats["reconciles"]
+        finally:
+            restarted.stop()
