@@ -65,7 +65,12 @@ HTTP job service: ``POST /jobs`` accepts versioned ``repro.job/v1``
 requests for the sweep-shaped verbs, each job materializes an ordinary
 run dir under ``--spool`` (joinable by external ``repro work``
 processes), and a killed server resumes unfinished jobs from the spool
-on restart.
+on restart. Workers on *other machines* join with ``repro work
+--connect http://host:port`` — no shared filesystem, cells travel over
+the HTTP work-dispatch protocol (docs/REMOTE.md) — and ``repro status
+--connect`` renders every job's per-cell table the same way; ``repro
+serve --workers 0`` runs the server as a pure coordinator whose cells
+are computed entirely by such remote workers.
 
 Sweep cells are additionally **memoized** (docs/PERFORMANCE.md):
 ``run``/``compare``/``faults``/``bench``/``explore``/``resume`` take
@@ -481,25 +486,55 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_work(args: argparse.Namespace) -> int:
+    if bool(args.connect) == bool(args.run_dir):
+        print(
+            "error: repro work takes exactly one of RUN_DIR (shared "
+            "filesystem) or --connect URL (remote server)",
+            file=sys.stderr,
+        )
+        return 2
     owner = default_owner_id()
+    if args.connect:
+        return _remote_work(args, owner)
     print(f"worker {owner} draining {args.run_dir}")
     return _drain_run_dir(args, owner=owner)
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
+def _remote_work(args: argparse.Namespace, owner: str) -> int:
+    """``repro work --connect``: drain a remote server's cells over HTTP
+    with no shared filesystem (docs/REMOTE.md)."""
+    from .errors import RemoteProtocolError
+    from .harness.remote import RemoteClient, RemoteWorker
+
     try:
-        status = status_run(args.run_dir, verify=not args.no_verify)
-    except ArtifactIntegrityError as exc:
-        print(str(exc), file=sys.stderr)
+        client = RemoteClient(args.connect, timeout_s=args.request_timeout)
+    except RemoteProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
+    print(f"worker {owner} connecting to {client.base_url}")
+    worker = RemoteWorker(
+        client,
+        owner=owner,
+        attempts=args.retries,
+        linger_s=args.linger,
+    )
+    return worker.run()
+
+
+def _print_status(status: Dict, indent: str = "") -> None:
+    """Render one run's per-cell table (shared by ``repro status`` on a
+    local run dir and on each job of ``repro status --connect``)."""
     counts = status["counts"]
     print(
-        f"run {status['run_id']}  plan={status['plan']}  "
+        f"{indent}run {status['run_id']}  plan={status['plan']}  "
         f"experiment={status['experiment']}  cells={counts['total']}  "
         f"envelope={'yes' if status['envelope'] else 'no'}"
     )
     width = max([len("cell")] + [len(c["cell_id"]) for c in status["cells"]])
-    print(f"{'cell'.ljust(width)}  {'state':7}  {'attempts':8}  owner (token, heartbeats, elapsed)")
+    print(
+        f"{indent}{'cell'.ljust(width)}  {'state':7}  {'attempts':8}  "
+        "owner (token, heartbeats, elapsed)"
+    )
     for cell in status["cells"]:
         attempts = "-" if cell["attempts"] is None else str(cell["attempts"])
         if cell["owner"] is None:
@@ -509,11 +544,65 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 f"{cell['owner']} (token {cell['token']}, "
                 f"hb {cell['heartbeats']}, {cell['elapsed_s']:g}s)"
             )
-        print(f"{cell['cell_id'].ljust(width)}  {cell['state']:7}  {attempts:8}  {lease}")
+        print(f"{indent}{cell['cell_id'].ljust(width)}  {cell['state']:7}  {attempts:8}  {lease}")
     print(
-        f"{counts['ok']} ok, {counts['failed']} failed, "
+        f"{indent}{counts['ok']} ok, {counts['failed']} failed, "
         f"{counts['leased']} leased, {counts['pending']} pending"
     )
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if bool(args.connect) == bool(args.run_dir):
+        print(
+            "error: repro status takes exactly one of RUN_DIR or --connect URL",
+            file=sys.stderr,
+        )
+        return 2
+    if args.connect:
+        return _remote_status(args)
+    try:
+        status = status_run(args.run_dir, verify=not args.no_verify)
+    except ArtifactIntegrityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_status(status)
+    return 0
+
+
+def _remote_status(args: argparse.Namespace) -> int:
+    """``repro status --connect``: every job's table over HTTP."""
+    from .errors import RemoteProtocolError
+    from .harness.remote import RemoteClient
+
+    try:
+        client = RemoteClient(args.connect, timeout_s=args.request_timeout, retries=1)
+        code, doc = client.request("GET", "/status")
+    except RemoteProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if code != 200:
+        print(f"error: server answered {code}: {doc.get('message')}", file=sys.stderr)
+        return 2
+    jobs = doc.get("jobs") or []
+    if not jobs:
+        print("no jobs")
+        return 0
+    for entry in jobs:
+        print(
+            f"job {entry['job_id']}  state={entry['state']}  "
+            f"verb={entry['verb']}  detail={entry.get('detail', '')}"
+        )
+        if entry.get("cells"):
+            _print_status(entry["cells"], indent="  ")
+        else:
+            progress = entry.get("progress") or {}
+            total = progress.get("cells_total")
+            print(
+                f"  {progress.get('cells_ok', 0)} ok, "
+                f"{progress.get('cells_failed', 0)} failed, "
+                f"{progress.get('cells_leased', 0)} leased of "
+                f"{'?' if total is None else total} cells"
+            )
     return 0
 
 
@@ -536,6 +625,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cell_timeout_s=args.cell_timeout,
         lease_ttl=getattr(args, "lease_ttl", None),
         heartbeat_s=getattr(args, "heartbeat", None),
+        read_timeout_s=args.read_timeout,
     )
     return serve_forever(config)
 
@@ -588,6 +678,17 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0, rejected at parse time."""
+    try:
+        value = int(text)
+    except (TypeError, ValueError):
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {text!r}")
     return value
 
 
@@ -864,9 +965,27 @@ def build_parser() -> argparse.ArgumentParser:
     work = sub.add_parser(
         "work",
         help="join a checkpointed sweep as an extra worker, claiming and "
-             "stealing cells via crash-safe leases (docs/COORD.md)",
+             "stealing cells via crash-safe leases (docs/COORD.md), or a "
+             "remote server via --connect (docs/REMOTE.md)",
     )
-    work.add_argument("run_dir", metavar="RUN_DIR", help="run directory with a manifest.json")
+    work.add_argument(
+        "run_dir", metavar="RUN_DIR", nargs="?", default=None,
+        help="run directory with a manifest.json (omit with --connect)",
+    )
+    work.add_argument(
+        "--connect", metavar="URL", default=None,
+        help="claim cells from a running `repro serve` at URL over HTTP "
+             "instead of a shared filesystem (docs/REMOTE.md)",
+    )
+    work.add_argument(
+        "--request-timeout", type=_positive_float, default=10.0, metavar="S",
+        help="per-HTTP-request timeout for --connect (default 10)",
+    )
+    work.add_argument(
+        "--linger", type=float, default=0.0, metavar="S",
+        help="with --connect, keep polling an idle server this long "
+             "before exiting 0 (default 0: exit on first idle answer)",
+    )
     work.add_argument(
         "--no-verify", action="store_true",
         help="skip artifact digest verification when reading checkpointed cells",
@@ -887,9 +1006,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = sub.add_parser(
         "status",
-        help="per-cell completion and lease/owner state of a checkpointed sweep",
+        help="per-cell completion and lease/owner state of a checkpointed "
+             "sweep, locally or from a remote server via --connect",
     )
-    status.add_argument("run_dir", metavar="RUN_DIR", help="run directory with a manifest.json")
+    status.add_argument(
+        "run_dir", metavar="RUN_DIR", nargs="?", default=None,
+        help="run directory with a manifest.json (omit with --connect)",
+    )
+    status.add_argument(
+        "--connect", metavar="URL", default=None,
+        help="render every job's table from a running `repro serve` at "
+             "URL over HTTP (docs/REMOTE.md)",
+    )
+    status.add_argument(
+        "--request-timeout", type=_positive_float, default=10.0, metavar="S",
+        help="per-HTTP-request timeout for --connect (default 10)",
+    )
     status.add_argument(
         "--no-verify", action="store_true",
         help="skip artifact digest verification when reading checkpointed cells",
@@ -927,8 +1059,14 @@ def build_parser() -> argparse.ArgumentParser:
              "<spool>/serve.json (default 8765)",
     )
     serve.add_argument(
-        "--workers", type=_positive_int, default=2, metavar="N",
-        help="concurrent job drains (default 2)",
+        "--workers", type=_nonneg_int, default=2, metavar="N",
+        help="concurrent job drains (default 2); 0 = pure coordinator, "
+             "cells are computed only by --connect workers (docs/REMOTE.md)",
+    )
+    serve.add_argument(
+        "--read-timeout", type=_positive_float, default=10.0, metavar="S",
+        help="whole-request read deadline; a request that stalls past it "
+             "answers 408 (default 10)",
     )
     serve.add_argument(
         "--queue-limit", type=_positive_int, default=16, metavar="N",

@@ -37,6 +37,12 @@ with one clause, or narrow to a family:
 - :class:`JobError` — a ``repro serve`` job request (``repro.job/v1``)
   is malformed, or a job state transition is illegal (docs/SERVE.md).
   Carries the offending field so the HTTP 400 body can name it.
+- :class:`RemoteProtocolError` — the HTTP work-dispatch protocol
+  between a remote ``repro work --connect`` worker and a ``repro
+  serve`` server failed (docs/REMOTE.md): the server is unreachable
+  past the retry budget, an answer is out of protocol, or an operation
+  was rejected (stale fencing token, unknown claim). Carries the URL,
+  the HTTP status, and a machine-readable ``reason`` slug.
 
 Every pre-existing concrete class also subclasses :class:`ValueError`:
 the seed codebase raised bare ``ValueError`` for those conditions, and
@@ -68,6 +74,7 @@ __all__ = [
     "LeaseError",
     "StaleOwnerError",
     "JobError",
+    "RemoteProtocolError",
 ]
 
 
@@ -237,6 +244,43 @@ class JobError(ReproError, ValueError):
     def __init__(self, message: str, *, field: Optional[str] = None):
         self.field = field
         suffix = f" [field={field}]" if field is not None else ""
+        super().__init__(message + suffix)
+
+
+class RemoteProtocolError(ReproError, RuntimeError):
+    """The HTTP work-dispatch protocol (docs/REMOTE.md) failed.
+
+    Raised by the remote-worker client when the server stays
+    unreachable past the retry budget, answers with an out-of-protocol
+    status or body, or rejects an operation the client believed it was
+    entitled to (a stale fencing token, an unknown or already-settled
+    claim). Like :class:`LeaseError` it reports a failed coordination
+    step, not a bad value, so it subclasses :class:`RuntimeError`.
+    ``status`` is the HTTP status involved (when one was received) and
+    ``reason`` a stable machine-readable slug (``unreachable``,
+    ``stale_token``, ``unknown_claim``, ``claim_settled``,
+    ``cell_conflict``, ``bad_response``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        url: Optional[str] = None,
+        status: Optional[int] = None,
+        reason: Optional[str] = None,
+    ):
+        self.url = url
+        self.status = status
+        self.reason = reason
+        where = []
+        if url is not None:
+            where.append(f"url={url}")
+        if status is not None:
+            where.append(f"status={status}")
+        if reason is not None:
+            where.append(f"reason={reason}")
+        suffix = f" [{', '.join(where)}]" if where else ""
         super().__init__(message + suffix)
 
 

@@ -64,6 +64,7 @@ __all__ = [
     "LeaseManager",
     "CellCoordinator",
     "default_owner_id",
+    "maybe_kill",
     "safe_cell_filename",
 ]
 
@@ -106,10 +107,19 @@ def safe_cell_filename(cell_id: str, suffix: str = ".json") -> str:
     return f"{safe}{suffix}"
 
 
-def _maybe_kill(env: str, done: int) -> None:
+def maybe_kill(env: str, done: int) -> None:
+    """Chaos hook: SIGKILL this process once ``done`` reaches ``$env``.
+
+    Shared by every worker flavour (filesystem leases here, HTTP remote
+    workers in :mod:`repro.harness.remote`) so the chaos harness can
+    crash any of them at the same protocol-critical instants.
+    """
     kill_after = os.environ.get(env)
     if kill_after and done >= int(kill_after):
         os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here
+
+
+_maybe_kill = maybe_kill  # internal spelling kept for existing call sites
 
 
 def _owner_alive(owner: str) -> Optional[bool]:

@@ -598,6 +598,25 @@ class RunDir:
                 records[spec.cell_id] = record
         return records
 
+    def pending_cells(
+        self, plan: SweepPlan, verify: bool = True, retry_failed: bool = True
+    ) -> List[CellSpec]:
+        """The cells of ``plan`` still worth executing.
+
+        With ``retry_failed`` (the resume/drain semantics) a cell is
+        pending unless an *ok* record is durably in place — a recorded
+        failure gets another chance. Without it (the remote dispatch
+        semantics, docs/REMOTE.md) any durable record settles the cell:
+        a failure already consumed a full local retry budget somewhere,
+        so the network protocol does not re-offer it.
+        """
+        pending: List[CellSpec] = []
+        for spec in plan.cells:
+            record = self.read_cell(spec, verify=verify)
+            if record is None or (retry_failed and record.get("status") != "ok"):
+                pending.append(spec)
+        return pending
+
 
 # ---------------------------------------------------------------------------
 # Supervised worker pool

@@ -22,16 +22,32 @@ substrate (docs/COORD.md):
 - ``GET /healthz`` / ``GET /stats`` — liveness and the obs counter
   snapshot; the ``serve/*`` counters reconcile exactly:
   ``submitted == completed + failed + cancelled + queued + running``.
+- ``GET /status`` — every job's per-cell record/lease/owner table, the
+  same document ``repro status`` renders locally, so ``repro status
+  --connect`` works with no shared filesystem.
+- ``POST /cells/claim`` + ``/cells/<id>/heartbeat`` / ``result`` /
+  ``abandon`` — the remote work-dispatch protocol (docs/REMOTE.md):
+  ``repro work --connect`` workers on other machines claim, renew and
+  settle cells through :class:`repro.harness.remote.RemoteCellBroker`,
+  which executes the ordinary lease protocol on their behalf against
+  the same lease files local workers contend on.
 
 Jobs are drained by an in-process pool of supervisor tasks, each
 spawning one ``work_run`` / ``explore_resume`` worker process per job
-(the drain). Overlapping jobs dedupe through the content-addressed
-simcache (docs/PERFORMANCE.md) when the server runs with
-``--cache-dir``: the second identical job's cells replay as cache hits.
+(the drain). With ``--workers 0`` the server is a pure coordinator:
+remote workers compute every cell, and a housekeeper finalizes each
+job (envelope assembly through the same drain path) the moment its
+last record lands. Overlapping jobs dedupe through the
+content-addressed simcache (docs/PERFORMANCE.md) when the server runs
+with ``--cache-dir``: the second identical job's cells replay as cache
+hits.
 
 The queue is bounded (``--queue-limit``): overflow answers 429 with a
-``Retry-After`` header. Request validation failures answer 400 with the
-error-taxonomy class name (:class:`repro.errors.JobError` and friends).
+``Retry-After`` header derived from the queue depth and the observed
+drain rate. Request validation failures answer 400 with the
+error-taxonomy class name (:class:`repro.errors.JobError` and
+friends); a request that stalls past the read deadline answers 408 and
+a truncated body 400, so slow-loris connections cannot pin the server.
 See docs/SERVE.md for the endpoint reference, lifecycle diagram and a
 curl-able worked example.
 """
@@ -41,17 +57,19 @@ from __future__ import annotations
 import asyncio
 import heapq
 import json
+import math
 import os
 import signal
 import sys
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ConfigError, JobError, ReproError
-from .coord import default_owner_id
+from .coord import DEFAULT_HEARTBEAT_S, default_owner_id
 from .explore import (
     DesignSpace,
     ExploreRequest,
@@ -61,11 +79,14 @@ from .explore import (
     is_explore_run,
 )
 from .parallel import pool_context
+from .remote import RemoteCellBroker
 from .resilience import (
     RetryPolicy,
     RunDir,
     breakdown_plan,
+    effective_lease_ttl,
     faults_plan,
+    status_run,
     work_run,
 )
 from .serialize import load_json, save_json
@@ -100,6 +121,7 @@ ERROR_SCHEMA = "repro.job-error/v1"
 SERVE_SCHEMA = "repro.serve/v1"
 STATS_SCHEMA = "repro.serve-stats/v1"
 STATUS_SCHEMA = "repro.job-status/v1"
+SERVE_STATUS_SCHEMA = "repro.serve-status/v1"
 
 #: Experiments a ``run`` job may name (the sweep-shaped subset).
 SWEEPABLE_EXPERIMENTS = {
@@ -669,7 +691,7 @@ class ServeConfig:
     spool: Path
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; the bound port lands in serve.json
-    workers: int = 2
+    workers: int = 2  # 0 = pure coordinator: remote workers drain cells
     queue_limit: int = 16
     job_timeout_s: Optional[float] = None  # per-job wall clock default
     cell_jobs: int = 1
@@ -678,6 +700,7 @@ class ServeConfig:
     lease_ttl: Optional[float] = None
     heartbeat_s: Optional[float] = None
     max_body_bytes: int = 1 << 20
+    read_timeout_s: float = 10.0  # whole-request read deadline (-> 408)
 
 
 class _JobRuntime:
@@ -717,6 +740,16 @@ class JobServer:
         self._stop_event: Optional[asyncio.Event] = None
         self._worker_tasks: List[asyncio.Task] = []
         self.port: Optional[int] = None
+        #: wall-clock of recently finished drains, for adaptive Retry-After
+        self._drain_durations: deque = deque(maxlen=32)
+        retry = RetryPolicy(max_attempts=config.retries, timeout_s=config.cell_timeout_s)
+        self.broker = RemoteCellBroker(
+            self.store,
+            self._claimable_job_ids,
+            ttl_s=effective_lease_ttl(config.lease_ttl, config.heartbeat_s, retry),
+            heartbeat_s=config.heartbeat_s or DEFAULT_HEARTBEAT_S,
+            obs=self.obs,
+        )
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -735,11 +768,39 @@ class JobServer:
                 return rt
         return None
 
+    def _claimable_job_ids(self) -> List[str]:
+        """Jobs the remote protocol may hand cells from, best first.
+
+        QUEUED and RUNNING jobs both qualify — remote workers race the
+        local drain through the shared lease files, which is the point.
+        Sort is stable, so equal priorities keep submission order.
+        """
+        live = [
+            rt
+            for rt in self._jobs.values()
+            if rt.state in ("QUEUED", "RUNNING") and not rt.cancel_requested
+        ]
+        live.sort(key=lambda rt: -rt.request.priority)
+        return [rt.job_id for rt in live]
+
+    def _retry_after_s(self) -> int:
+        """Adaptive 429 Retry-After: queue depth times the observed
+        per-job drain time, spread over the drain workers."""
+        if self._drain_durations:
+            avg = sum(self._drain_durations) / len(self._drain_durations)
+        else:
+            avg = 1.0
+        depth = self._count("QUEUED") + self._count("RUNNING")
+        lanes = max(1, self.config.workers)
+        return max(1, min(600, math.ceil(depth * avg / lanes)))
+
     def _finish(self, rt: _JobRuntime, state: str, detail: str) -> None:
         self.store.set_state(rt.job_id, state, detail)
         rt.state = state
         rt.detail = detail
         self.obs.counter(f"serve/jobs_{state.lower()}").add()
+        if state in TERMINAL_STATES:
+            self.broker.forget_job(rt.job_id)
 
     def stats_doc(self) -> Dict[str, Any]:
         counters = dict(self.obs.snapshot())
@@ -758,7 +819,12 @@ class JobServer:
             + jobs["queued"]
             + jobs["running"]
         )
-        return {"schema": STATS_SCHEMA, "jobs": jobs, "counters": counters}
+        return {
+            "schema": STATS_SCHEMA,
+            "jobs": jobs,
+            "remote": self.broker.stats(),
+            "counters": counters,
+        }
 
     # -- the sync request core ----------------------------------------------
 
@@ -796,6 +862,27 @@ class JobServer:
             if method != "GET":
                 return self._method_not_allowed("GET")
             return 200, self.stats_doc(), {}
+        if path == "/status":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return self._status_all()
+        if path == "/cells/claim":
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            if self._stopping:
+                return 503, {"error": "ShuttingDown", "message": "server is draining"}, {}
+            return self.broker.claim(self._json_body(body))
+        if path.startswith("/cells/"):
+            claim_id, _, op = path[len("/cells/"):].partition("/")
+            if claim_id and op == "heartbeat" and method == "POST":
+                return self.broker.heartbeat(claim_id, self._json_body(body))
+            if claim_id and op == "result" and method == "PUT":
+                return self.broker.result(claim_id, self._json_body(body))
+            if claim_id and op == "abandon" and method == "POST":
+                return self.broker.abandon(claim_id, self._json_body(body))
+            if claim_id and op in ("heartbeat", "result", "abandon"):
+                return self._method_not_allowed("PUT" if op == "result" else "POST")
+            return 404, {"error": "NotFound", "message": f"no route {path!r}"}, {}
         if path == "/jobs":
             if method == "POST":
                 return self._submit(body)
@@ -822,6 +909,31 @@ class JobServer:
     def _method_not_allowed(self, allow: str):
         return 405, {"error": "MethodNotAllowed", "message": f"allowed: {allow}"}, {"Allow": allow}
 
+    @staticmethod
+    def _json_body(body: bytes) -> Any:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JobError(f"body is not valid JSON: {exc}")
+
+    def _status_all(self):
+        """``GET /status`` — every job's per-cell table, the document
+        ``repro status --connect`` renders (docs/REMOTE.md)."""
+        jobs = []
+        for rt in self._jobs.values():
+            entry = self._summary(rt)
+            entry["detail"] = rt.detail
+            run_dir = self.store.run_dir(rt.job_id)
+            entry["progress"] = job_progress(run_dir)
+            entry["cells"] = None
+            if not is_explore_run(run_dir):
+                try:
+                    entry["cells"] = status_run(run_dir, verify=False)
+                except ReproError:
+                    pass
+            jobs.append(entry)
+        return 200, {"schema": SERVE_STATUS_SCHEMA, "jobs": jobs}, {}
+
     def _summary(self, rt: _JobRuntime) -> Dict[str, Any]:
         return {
             "job_id": rt.job_id,
@@ -835,13 +947,15 @@ class JobServer:
             return 503, {"error": "ShuttingDown", "message": "server is draining"}, {}
         if self._count("QUEUED") >= self.config.queue_limit:
             self.obs.counter("serve/jobs_rejected").add()
+            retry_after = self._retry_after_s()
             return (
                 429,
                 {
                     "error": "QueueFull",
                     "message": f"queue limit {self.config.queue_limit} reached; retry later",
+                    "retry_after_s": retry_after,
                 },
-                {"Retry-After": "1"},
+                {"Retry-After": str(retry_after)},
             )
         try:
             doc = json.loads(body.decode("utf-8"))
@@ -950,8 +1064,12 @@ class JobServer:
             },
             self.store.root / "serve.json",
         )
-        for _ in range(max(1, self.config.workers)):
+        for _ in range(max(0, self.config.workers)):
             self._worker_tasks.append(asyncio.ensure_future(self._worker_loop()))
+        # The housekeeper reaps silent remote claims and finalizes jobs
+        # whose cells were all recorded by remote workers — with
+        # ``--workers 0`` it is the only thing that completes a job.
+        self._worker_tasks.append(asyncio.ensure_future(self._housekeeper_loop()))
 
     def _rescan(self) -> None:
         """Reload the spool after a restart: terminal jobs are counted,
@@ -1021,6 +1139,9 @@ class JobServer:
                     await self._loop.run_in_executor(None, proc.join, 5)
             self.store.set_state(rt.job_id, "QUEUED", "requeued at shutdown")
             rt.state = "QUEUED"
+        # Settle outstanding remote claims so the remote/* books balance;
+        # reconnecting workers re-claim after the restart.
+        self.broker.shutdown()
         try:
             (self.store.root / "serve.json").unlink()
         except OSError:
@@ -1033,6 +1154,36 @@ class JobServer:
                 await asyncio.sleep(0.05)
                 continue
             await self._run_job(rt)
+
+    async def _housekeeper_loop(self) -> None:
+        """Reap expired remote claims; finalize remotely-drained jobs.
+
+        A QUEUED job whose every cell already has a durable record (all
+        computed by remote workers) goes through the ordinary drain,
+        which finds nothing pending, assembles the envelope and sweeps
+        the leases — the server stays the single assembler. The
+        fully-recorded check and :meth:`_run_job`'s synchronous
+        QUEUED→RUNNING transition run without an ``await`` between
+        them, so a concurrent :meth:`_worker_loop` cannot double-drain.
+        """
+        while not self._stopping:
+            await asyncio.sleep(0.2)
+            try:
+                self.broker.reap()
+            except Exception:  # noqa: BLE001 - keep the loop alive
+                self.obs.counter("serve/housekeeper_errors").add()
+            for rt in list(self._jobs.values()):
+                if self._stopping:
+                    break
+                if rt.state != "QUEUED" or rt.cancel_requested:
+                    continue
+                try:
+                    ready = self.broker.job_fully_recorded(rt.job_id)
+                except ReproError:
+                    continue
+                if ready:
+                    self.obs.counter("serve/jobs_finalized").add()
+                    await self._run_job(rt)
 
     async def _run_job(self, rt: _JobRuntime) -> None:
         self.store.set_state(rt.job_id, "RUNNING", "draining")
@@ -1053,8 +1204,9 @@ class JobServer:
         )
         proc.start()
         rt.proc = proc
+        started = time.monotonic()
         timeout = rt.request.timeout_s or config.job_timeout_s
-        deadline = time.monotonic() + timeout if timeout else None
+        deadline = started + timeout if timeout else None
         timed_out = False
         kill_at: Optional[float] = None
         while proc.is_alive():
@@ -1071,6 +1223,7 @@ class JobServer:
         proc.join()
         code = proc.exitcode
         rt.proc = None
+        self._drain_durations.append(max(0.0, time.monotonic() - started))
         self._merge_job_obs(rt.job_id)
         if rt.cancel_requested:
             self._finish(rt, "CANCELLED", "cancelled while running")
@@ -1108,9 +1261,9 @@ class JobServer:
         ).encode("utf-8")
         reason = {
             200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable",
+            405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+            410: "Gone", 413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable",
         }.get(status, "Unknown")
         lines = [f"HTTP/1.1 {status} {reason}"]
         lines.append("Content-Type: application/json")
@@ -1126,32 +1279,67 @@ class JobServer:
         writer.close()
 
     async def _read_and_route(self, reader):
-        request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
-        parts = request_line.decode("latin-1").split()
-        if len(parts) < 2:
-            return 400, {"error": "BadRequest", "message": "malformed request line"}, {}
-        method, path = parts[0], parts[1]
-        content_length = 0
-        while True:
-            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    return 400, {"error": "BadRequest", "message": "bad Content-Length"}, {}
-        if content_length > self.config.max_body_bytes:
+        """Frame one request under a single read deadline.
+
+        The whole request — line, headers and body — must arrive within
+        ``read_timeout_s``. A slow-loris connection that dribbles bytes
+        to keep each individual read alive still hits the shared
+        deadline and is answered 408; a body cut short of its declared
+        Content-Length answers 400. Both are answers, not silent
+        drops, so well-behaved clients can tell policy from partition.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.read_timeout_s
+
+        def timed(awaitable):
+            return asyncio.wait_for(awaitable, timeout=max(0.0, deadline - loop.time()))
+
+        try:
+            request_line = await timed(reader.readline())
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return 400, {"error": "BadRequest", "message": "malformed request line"}, {}
+            method, path = parts[0], parts[1]
+            content_length = 0
+            headers_seen = 0
+            while True:
+                line = await timed(reader.readline())
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                headers_seen += 1
+                if headers_seen > 256:
+                    return 400, {"error": "BadRequest", "message": "too many headers"}, {}
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        return 400, {"error": "BadRequest", "message": "bad Content-Length"}, {}
+            if content_length > self.config.max_body_bytes:
+                return (
+                    413,
+                    {
+                        "error": "JobError",
+                        "message": f"body exceeds {self.config.max_body_bytes} bytes",
+                    },
+                    {},
+                )
+            body = await timed(reader.readexactly(content_length)) if content_length else b""
+        except asyncio.TimeoutError:
+            self.obs.counter("serve/http_timeouts").add()
             return (
-                413,
+                408,
                 {
-                    "error": "JobError",
-                    "message": f"body exceeds {self.config.max_body_bytes} bytes",
+                    "error": "RequestTimeout",
+                    "message": (
+                        f"request not received within {self.config.read_timeout_s:g}s"
+                    ),
                 },
                 {},
             )
-        body = await reader.readexactly(content_length) if content_length else b""
+        except asyncio.IncompleteReadError:
+            self.obs.counter("serve/http_truncated").add()
+            return 400, {"error": "BadRequest", "message": "request body truncated"}, {}
         return self.handle_request(method, path, body)
 
 

@@ -127,12 +127,22 @@ class TestServeArgs:
         assert main(["serve", "--spool", str(tmp_path), "--port", port]) == 2
         assert "--port" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("flag", ["--workers", "--queue-limit"])
-    def test_non_positive_counts_rejected(self, flag, capsys, tmp_path):
+    def test_non_positive_queue_limit_rejected(self, capsys, tmp_path):
         with pytest.raises(SystemExit) as exit_info:
-            main(["serve", "--spool", str(tmp_path), flag, "0"])
+            main(["serve", "--spool", str(tmp_path), "--queue-limit", "0"])
         assert exit_info.value.code == 2
         assert "positive integer" in capsys.readouterr().err
+
+    def test_negative_workers_rejected(self, capsys, tmp_path):
+        # 0 is valid (pure coordinator, docs/REMOTE.md); below that is not
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--spool", str(tmp_path), "--workers", "-1"])
+        assert exit_info.value.code == 2
+        assert "non-negative integer" in capsys.readouterr().err
+
+    def test_zero_workers_parses_as_pure_coordinator(self):
+        args = build_parser().parse_args(["serve", "--spool", "s", "--workers", "0"])
+        assert args.workers == 0
 
     @pytest.mark.parametrize("flag", ["--timeout", "--cell-timeout", "--heartbeat"])
     def test_non_positive_seconds_rejected(self, flag, capsys, tmp_path):

@@ -38,6 +38,8 @@ SKIP_PATTERNS = (
     "REPRO_KILL_AFTER_CELLS",  # deliberate crash demos
     "repro serve",        # long-running server — covered by tests/test_serve.py
     "repro work runs/spool",  # needs a live server's spool to join
+    "--connect",          # needs a live server to dial — covered by
+                          # tests/test_remote.py and tests/chaos/
 )
 
 

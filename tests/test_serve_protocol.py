@@ -16,6 +16,8 @@ from __future__ import annotations
 import asyncio
 import json
 import random
+import select
+import socket
 import threading
 import time
 import urllib.error
@@ -365,6 +367,23 @@ class TestRequestCore:
         assert server.stats_doc()["jobs"]["submitted"] == 2
         assert server.stats_doc()["jobs"]["reconciles"]
 
+    def test_retry_after_adapts_to_queue_depth_and_drain_rate(self, server):
+        _post(server, FAULTS_DOC)
+        _post(server, FAULTS_DOC)
+        status, doc, headers = _post(server, FAULTS_DOC)
+        assert status == 429
+        # no drain history yet: the depth alone sets the hint
+        assert headers["Retry-After"] == "1"
+        assert doc["retry_after_s"] == 1
+        # recent drains averaged 40s: two queued jobs over two lanes
+        server._drain_durations.extend([30.0, 50.0])
+        _, doc, headers = _post(server, FAULTS_DOC)
+        assert headers["Retry-After"] == "40"
+        assert doc["retry_after_s"] == 40
+        # the hint is clamped to something a client can sanely honour
+        server._drain_durations.append(1e6)
+        assert int(_post(server, FAULTS_DOC)[2]["Retry-After"]) == 600
+
     def test_priority_orders_the_queue(self, server):
         low = _post(server, {**FAULTS_DOC, "priority": -1})[1]["job_id"]
         high = _post(server, {**FAULTS_DOC, "priority": 5})[1]["job_id"]
@@ -418,6 +437,88 @@ class TestHttpFraming:
         raw = b"POST /jobs HTTP/1.1\r\nContent-Length: ten\r\n\r\n"
         status, doc, _ = self._roundtrip(server, raw)
         assert status == 400
+
+    def test_body_shorter_than_content_length_is_400(self, server):
+        raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 40\r\n\r\n{\"schema\""
+        status, doc, _ = self._roundtrip(server, raw)
+        assert status == 400
+        assert "truncated" in doc["message"]
+        assert server.obs.snapshot()["serve/http_truncated"] == 1
+
+    def test_unbounded_header_count_is_400(self, server):
+        raw = (
+            b"GET /healthz HTTP/1.1\r\n"
+            + b"".join(b"X-H%d: v\r\n" % i for i in range(300))
+            + b"\r\n"
+        )
+        status, doc, _ = self._roundtrip(server, raw)
+        assert status == 400
+        assert "headers" in doc["message"]
+
+
+def _recv_http_response(sock, timeout=10.0):
+    """Read one Connection: close HTTP response to EOF."""
+    sock.settimeout(timeout)
+    data = b""
+    while True:
+        chunk = sock.recv(4096)
+        if not chunk:
+            return data
+        data += chunk
+
+
+class TestFramingHardening:
+    """Raw-socket regressions: slow-loris and truncated uploads get
+    structured answers instead of pinning (or crashing) the server."""
+
+    @pytest.fixture
+    def live(self, tmp_path):
+        config = ServeConfig(spool=tmp_path / "spool", workers=0, read_timeout_s=0.5)
+        with _LiveServer(config) as live:
+            yield live
+
+    def test_stalled_request_line_is_answered_408(self, live):
+        with socket.create_connection(("127.0.0.1", live.server.port)) as sock:
+            sock.sendall(b"GET /heal")  # ...and never finish the line
+            data = _recv_http_response(sock)
+        assert data.startswith(b"HTTP/1.1 408 Request Timeout")
+        assert b"RequestTimeout" in data
+
+    def test_dribbled_headers_hit_the_shared_deadline(self, live):
+        """A slow-loris that keeps each individual read alive still runs
+        out of the whole-request budget: per-read timers would reset."""
+        with socket.create_connection(("127.0.0.1", live.server.port)) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n")
+            data = b""
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                readable, _, _ = select.select([sock], [], [], 0.05)
+                if readable:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                else:
+                    try:
+                        sock.sendall(b"X-Drip: y\r\n")  # never the blank line
+                    except OSError:
+                        pass
+        assert data.startswith(b"HTTP/1.1 408 Request Timeout")
+
+    def test_truncated_body_is_answered_400(self, live):
+        with socket.create_connection(("127.0.0.1", live.server.port)) as sock:
+            sock.sendall(
+                b"POST /jobs HTTP/1.1\r\nContent-Length: 50\r\n\r\n" + b'{"schema"'
+            )
+            sock.shutdown(socket.SHUT_WR)  # the other 41 bytes never come
+            data = _recv_http_response(sock)
+        assert data.startswith(b"HTTP/1.1 400 Bad Request")
+        assert b"truncated" in data
+
+    def test_well_formed_request_still_flows(self, live):
+        """The deadline rejects stallers, not normal clients."""
+        status, doc = live.request("GET", "/healthz")
+        assert status == 200 and doc["status"] == "ok"
 
 
 # ---------------------------------------------------------------------------
