@@ -11,12 +11,19 @@ tests can prove the layout lossless end-to-end:
 
 It also reports the exact storage footprint both halves occupy, which the
 energy model's activation terms are anchored to.
+
+Like the weight packer (:mod:`repro.arch.packing`), the packer keeps two
+representations: the fast path builds a flat ``(n, 4)`` outlier
+coordinate table straight from ``argwhere`` and materializes the
+per-entry :class:`OutlierActivation` FIFO list lazily on first access;
+``slow_reference=True`` is the fully scalar executable specification
+that walks every (channel, row, col) element in FIFO order. Both are
+bit-identical (tests/test_vectorized_equiv.py).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -33,19 +40,107 @@ ACT_NORMAL_MAX = 15
 OUTLIER_ENTRY_BITS = 16 + 24
 
 
-@dataclass
 class PackedActivations:
     """One layer's input activations in on-chip form.
 
     ``dense`` is a (chunks, 16) int array of 4-bit levels in channel-major
     chunk order: chunk ``(h, w, c_blk)`` covers channels
-    ``[16 c_blk, 16 c_blk + 16)`` at pixel ``(h, w)``. ``outliers`` carry
-    the diverted high-precision activations with their coordinates.
+    ``[16 c_blk, 16 c_blk + 16)`` at pixel ``(h, w)``. The outlier FIFO
+    carries the diverted high-precision activations with their
+    coordinates, held in either of two interchangeable forms:
+
+    - a flat ``(n, 4)`` int64 coordinate table of (c, h, w, value) rows
+      (the fast packer's native output, consumed directly by the
+      vectorized unpack scatter and the fault-injection striker);
+    - a list of :class:`OutlierActivation` entries (the FIFO the scalar
+      paths walk), materialized lazily from the table on first access.
+
+    Whichever form exists is converted to the other on demand; assigning
+    ``outliers`` drops a stale table. FIFO order is C-order over
+    (channel, row, col) in both forms.
     """
 
-    dense: np.ndarray
-    outliers: List[OutlierActivation] = field(default_factory=list)
-    shape: tuple = ()  # original (C, H, W)
+    def __init__(
+        self,
+        dense: np.ndarray,
+        outliers: Optional[Sequence[OutlierActivation]] = None,
+        shape: tuple = (),
+        outlier_table: Optional[np.ndarray] = None,
+    ):
+        self.dense = dense
+        self.shape = tuple(shape)
+        self._outliers: Optional[List[OutlierActivation]] = (
+            list(outliers) if outliers is not None else None
+        )
+        self._table: Optional[np.ndarray] = outlier_table
+        if self._outliers is None and self._table is None:
+            self._outliers = []
+
+    # -- the two outlier forms ----------------------------------------------
+
+    @property
+    def outliers(self) -> List[OutlierActivation]:
+        """The outlier FIFO as entry objects (materialized lazily)."""
+        if self._outliers is None:
+            self._outliers = [
+                OutlierActivation(value=value, w_idx=col, h_idx=row, c_idx=channel)
+                for channel, row, col, value in self._table.tolist()
+            ]
+        return self._outliers
+
+    @outliers.setter
+    def outliers(self, entries: Sequence[OutlierActivation]) -> None:
+        self._outliers = list(entries)
+        self._table = None  # stale: rebuild from the new FIFO on demand
+
+    @property
+    def n_outliers(self) -> int:
+        """FIFO entry count, without materializing either form."""
+        if self._table is not None:
+            return int(self._table.shape[0])
+        return len(self._outliers)
+
+    def _coord_table(self) -> np.ndarray:
+        """(n_outliers, 4) int64 rows of (c, h, w, value) — the FIFO as an
+        array, for the vectorized unpack scatter and the swarm striker."""
+        if self._table is None:
+            self._table = np.array(
+                [(e.c_idx, e.h_idx, e.w_idx, e.value) for e in self._outliers],
+                dtype=np.int64,
+            ).reshape(len(self._outliers), 4)
+        return self._table
+
+    def replace_streams(
+        self,
+        dense: Optional[np.ndarray] = None,
+        outliers: Optional[Sequence[OutlierActivation]] = None,
+    ) -> "PackedActivations":
+        """A copy with the dense stream and/or outlier FIFO swapped out
+        (the fault injector's strike-and-rebuild step)."""
+        out = PackedActivations(
+            dense=self.dense if dense is None else dense,
+            shape=self.shape,
+        )
+        if outliers is not None:
+            out._outliers = list(outliers)
+        elif self._outliers is not None:
+            out._outliers = list(self._outliers)
+            out._table = self._table
+        else:
+            out._table = self._table
+            out._outliers = None
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PackedActivations):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.dense, other.dense)
+            and self.outliers == other.outliers
+        )
+
+    # -- footprint and density ----------------------------------------------
 
     @property
     def n_chunks(self) -> int:
@@ -58,7 +153,7 @@ class PackedActivations:
 
     @property
     def outlier_bits(self) -> int:
-        return len(self.outliers) * OUTLIER_ENTRY_BITS
+        return self.n_outliers * OUTLIER_ENTRY_BITS
 
     @property
     def total_bits(self) -> int:
@@ -75,22 +170,61 @@ class PackedActivations:
         quads = self.dense.reshape(-1, 4)
         return float((~quads.any(axis=1)).mean())
 
-    def _coord_table(self) -> np.ndarray:
-        """(n_outliers, 4) int64 rows of (c, h, w, value) — the FIFO as an
-        array, for the vectorized unpack scatter.
 
-        The fast packer seeds the cache; a stale entry count (e.g. after
-        ``dataclasses.replace`` swapped the outlier list, which builds a
-        fresh instance without the cache) triggers a rebuild from
-        ``outliers``.
-        """
-        table = self.__dict__.get("_outlier_table")
-        if table is None or table.shape[0] != len(self.outliers):
-            table = np.array(
-                [(e.c_idx, e.h_idx, e.w_idx, e.value) for e in self.outliers], dtype=np.int64
-            ).reshape(len(self.outliers), 4)
-            self.__dict__["_outlier_table"] = table
-        return table
+def _check_levels(levels: np.ndarray) -> np.ndarray:
+    levels = np.asarray(levels, dtype=np.int64)
+    if levels.ndim != 3:
+        raise ConfigError(f"expected (C, H, W) levels, got shape {levels.shape}")
+    if levels.size and levels.min() < 0:
+        raise QuantRangeError("activation levels must be non-negative")
+    return levels
+
+
+def _pack_scalar(levels: np.ndarray, normal_max: int) -> PackedActivations:
+    """The executable specification: walk every element in Python.
+
+    Outliers are collected in FIFO order (C-order over channel, row,
+    col); dense values land in chunk ``(row * W + col) * n_blocks + blk``
+    at lane ``channel % 16`` — the Fig. 6 traversal, one element at a
+    time the way the store hardware would stream them.
+    """
+    c, h, w = levels.shape
+    n_blocks = -(-c // LANES)
+    chunks = np.zeros((h * w * n_blocks, LANES), dtype=np.int64)
+    outliers: List[OutlierActivation] = []
+    for channel in range(c):
+        block, lane = divmod(channel, LANES)
+        plane = levels[channel]
+        for row in range(h):
+            for col in range(w):
+                value = int(plane[row, col])
+                if value > normal_max:
+                    outliers.append(
+                        OutlierActivation(value=value, w_idx=col, h_idx=row, c_idx=channel)
+                    )
+                else:
+                    chunks[(row * w + col) * n_blocks + block, lane] = value
+    return PackedActivations(dense=chunks, outliers=outliers, shape=(c, h, w))
+
+
+def _pack_fast(levels: np.ndarray, normal_max: int) -> PackedActivations:
+    """Vectorized split: one comparison, one ``argwhere``, one gather."""
+    c, h, w = levels.shape
+    n_blocks = -(-c // LANES)
+    if n_blocks * LANES == c:
+        padded = levels
+    else:
+        padded = np.zeros((n_blocks * LANES, h, w), dtype=np.int64)
+        padded[:c] = levels
+    is_outlier = padded > normal_max
+    coords = np.argwhere(is_outlier)
+    table = np.column_stack([coords, padded[is_outlier]]).astype(np.int64).reshape(-1, 4)
+    dense = np.where(is_outlier, 0, padded)
+    # chunk order: (h, w, channel block) — the traversal of Fig. 6.
+    chunks = dense.reshape(n_blocks, LANES, h, w).transpose(2, 3, 0, 1).reshape(-1, LANES)
+    return PackedActivations(
+        dense=np.ascontiguousarray(chunks), shape=(c, h, w), outlier_table=table
+    )
 
 
 def pack_activations(
@@ -102,50 +236,16 @@ def pack_activations(
     ``normal_max`` go to the outlier FIFO and leave a zero in the dense
     stream (they are "stored only in the swarm buffer", Sec. III-A).
 
-    The default path gathers the outlier coordinates/values with one
-    ``argwhere`` instead of a per-entry scan; ``slow_reference=True`` keeps
-    the original loop. Both produce identical FIFO order (C-order over
+    The default path builds the whole dense chunk grid and the outlier
+    coordinate table with array ops (the FIFO entry list materializes
+    lazily); ``slow_reference=True`` is the per-element scalar twin.
+    Both produce identical chunk grids and FIFO order (C-order over
     (channel, row, col)).
     """
-    levels = np.asarray(levels, dtype=np.int64)
-    if levels.ndim != 3:
-        raise ConfigError(f"expected (C, H, W) levels, got shape {levels.shape}")
-    if levels.size and levels.min() < 0:
-        raise QuantRangeError("activation levels must be non-negative")
-
-    c, h, w = levels.shape
-    n_blocks = -(-c // LANES)
-    padded = np.zeros((n_blocks * LANES, h, w), dtype=np.int64)
-    padded[:c] = levels
-
-    outliers: List[OutlierActivation] = []
-    is_outlier = padded > normal_max
+    levels = _check_levels(levels)
     if slow_reference:
-        for channel, row, col in zip(*np.nonzero(is_outlier)):
-            outliers.append(
-                OutlierActivation(
-                    value=int(padded[channel, row, col]),
-                    w_idx=int(col),
-                    h_idx=int(row),
-                    c_idx=int(channel),
-                )
-            )
-        table = None
-    else:
-        coords = np.argwhere(is_outlier)
-        values = padded[is_outlier]
-        outliers = [
-            OutlierActivation(value=value, w_idx=col, h_idx=row, c_idx=channel)
-            for (channel, row, col), value in zip(coords.tolist(), values.tolist())
-        ]
-        table = np.column_stack([coords, values]).astype(np.int64).reshape(len(outliers), 4)
-    dense = np.where(is_outlier, 0, padded)
-    # chunk order: (h, w, channel block) — the traversal of Fig. 6.
-    chunks = dense.reshape(n_blocks, LANES, h, w).transpose(2, 3, 0, 1).reshape(-1, LANES)
-    packed = PackedActivations(dense=np.ascontiguousarray(chunks), outliers=outliers, shape=(c, h, w))
-    if table is not None:
-        packed.__dict__["_outlier_table"] = table
-    return packed
+        return _pack_scalar(levels, normal_max)
+    return _pack_fast(levels, normal_max)
 
 
 def unpack_activations(packed: PackedActivations, slow_reference: bool = False) -> np.ndarray:
@@ -162,7 +262,7 @@ def unpack_activations(packed: PackedActivations, slow_reference: bool = False) 
     if slow_reference:
         for entry in packed.outliers:
             out[entry.c_idx, entry.h_idx, entry.w_idx] = entry.value
-    elif packed.outliers:
+    elif packed.n_outliers:
         table = packed._coord_table()
         out[table[:, 0], table[:, 1], table[:, 2]] = table[:, 3]
     return out[:c]

@@ -140,13 +140,13 @@ def _corrupt_activations(
         dense, _ = plan.corrupt_levels(packed.dense, _ACT_STREAM_BITS, surface="activations", obs=obs)
         entries = packed.outliers
         if entries:
-            values = np.array([e.value for e in entries], dtype=np.int64)
+            values = packed._coord_table()[:, 3]
             values, _ = plan.corrupt_levels(values, _SWARM_VALUE_BITS, surface="outliers", obs=obs)
             entries = [replace(e, value=int(v)) for e, v in zip(entries, values)]
         entries = validate_swarm(
             entries, packed.shape, policy=policy, obs=obs, normal_max=act_normal_max
         )
-        struck = replace(packed, dense=dense, outliers=entries)
+        struck = packed.replace_streams(dense=dense, outliers=entries)
         out[sample] = unpack_activations(struck)
     return out
 

@@ -211,6 +211,7 @@ class SimCache:
         compute: Callable[[], Any],
         encode: Optional[Callable[[Any], Any]] = None,
         decode: Optional[Callable[[Any], Any]] = None,
+        kind: Optional[str] = None,
     ) -> Any:
         """Return the cell's result, computing and storing it on a miss.
 
@@ -224,13 +225,19 @@ class SimCache:
         fresh copy each call; cached state is never aliased to callers.
 
         Every call counts one ``simcache/lookups`` plus exactly one of
-        ``hits``/``misses``/``bypassed``.
+        ``hits``/``misses``/``bypassed``. A non-default ``kind`` (e.g.
+        ``"layer"`` for layer-granularity memoization) prefixes those
+        four counters — ``simcache/layer_lookups`` etc. — so each
+        granularity reconciles on its own; storage-side counters
+        (``stores``, ``corrupt``, ``evictions``) stay shared since the
+        entry files live in one pool.
         """
         encode = encode if encode is not None else to_jsonable
         decode = decode if decode is not None else (lambda doc: doc)
-        self._count("lookups")
+        prefix = f"{kind}_" if kind else ""
+        self._count(prefix + "lookups")
         if not self.enabled:
-            self._count("bypassed")
+            self._count(prefix + "bypassed")
             return decode(encode(compute()))
         key = self.key(components)
         encoded = self._memory_get(key)
@@ -239,9 +246,9 @@ class SimCache:
             if encoded is not None:
                 self._memory_put(key, encoded)
         if encoded is not None:
-            self._count("hits")
+            self._count(prefix + "hits")
             return decode(copy.deepcopy(encoded))
-        self._count("misses")
+        self._count(prefix + "misses")
         encoded = encode(compute())
         self._memory_put(key, encoded)
         self._disk_put(key, encoded, components)

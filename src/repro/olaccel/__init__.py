@@ -2,7 +2,7 @@
 
 from .accelerator import OLAccelSimulator
 from .cluster import load_balance_efficiency, schedule_passes
-from .event_sim import ClusterSim, PassDescriptor, PEGroupSim, passes_from_levels
+from .event_sim import ClusterSim, PassDescriptor, PassMatrix, PEGroupSim, passes_from_levels
 from .mapper import LayerProgram, ModelProgram, compile_model
 from .pipeline import (
     LayerSchedule,
@@ -22,7 +22,9 @@ from .functional import (
 from .outlier_group import OutlierWork, outlier_work
 from .pe_group import (
     PassCosts,
+    batch_pass_cycles,
     chunk_pass_cycles,
+    pass_op_counts,
     dense_pass_factor,
     expected_pass_costs,
     multi_outlier_probability,
@@ -37,6 +39,7 @@ __all__ = [
     "schedule_passes",
     "ClusterSim",
     "PassDescriptor",
+    "PassMatrix",
     "PEGroupSim",
     "passes_from_levels",
     "LayerProgram",
@@ -58,8 +61,10 @@ __all__ = [
     "OutlierWork",
     "outlier_work",
     "PassCosts",
+    "batch_pass_cycles",
     "chunk_pass_cycles",
     "dense_pass_factor",
+    "pass_op_counts",
     "expected_pass_costs",
     "multi_outlier_probability",
     "sample_pass_cycles",

@@ -45,9 +45,17 @@ import numpy as np
 from ..arch.chunks import LANES
 from ..errors import ChunkIntegrityError, ConfigError
 from ..obs import NULL_REGISTRY, NULL_TRACER, Registry, Tracer
+from .pe_group import pass_op_counts
 from .tribuffer import TriBuffer
 
-__all__ = ["PassDescriptor", "PEGroupSim", "ClusterSim", "ClusterResult", "passes_from_levels"]
+__all__ = [
+    "PassDescriptor",
+    "PassMatrix",
+    "PEGroupSim",
+    "ClusterSim",
+    "ClusterResult",
+    "passes_from_levels",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +73,33 @@ class PassDescriptor:
     def __post_init__(self):
         if len(self.activations) != LANES or len(self.spill) != LANES:
             raise ChunkIntegrityError(f"pass descriptors are {LANES} lanes wide", field="lanes")
+
+
+class PassMatrix(Sequence):
+    """A pass batch held as flat arrays, materializing descriptors lazily.
+
+    :func:`passes_from_levels` returns this instead of a descriptor list:
+    the vectorized :meth:`ClusterSim.run` path consumes ``acts`` /
+    ``spill`` directly (no per-pass Python objects), while scalar
+    consumers — the stepper, tracer/obs fallback, or anything indexing
+    the sequence — get real :class:`PassDescriptor` objects on demand.
+    """
+
+    def __init__(self, acts: np.ndarray, spill: np.ndarray):
+        self.acts = acts
+        self.spill = spill
+
+    def __len__(self) -> int:
+        return self.acts.shape[0]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        row = self.acts[index]
+        srow = self.spill[index]
+        return PassDescriptor(
+            tuple(int(v) for v in row), tuple(bool(s) for s in srow)
+        )
 
 
 #: Micro-operations a PE group front end executes, one per cycle.
@@ -293,12 +328,12 @@ class ClusterSim:
                 raise RuntimeError(f"cluster did not converge within {max_cycles} cycles")
             return self._finish(cycles, outlier_done, 0, 0, True)
 
-        acts = np.asarray([p.activations for p in passes], dtype=np.int64)
-        spill = np.asarray([p.spill for p in passes], dtype=bool)
-        nonzero = acts != 0
-        bcast_p = nonzero.sum(axis=1)
-        stall_p = (spill & nonzero).sum(axis=1)
-        skip_p = (~nonzero.reshape(n_passes, LANES // 4, 4).any(axis=2)).sum(axis=1)
+        if isinstance(passes, PassMatrix):
+            acts, spill = passes.acts, passes.spill
+        else:
+            acts = np.asarray([p.activations for p in passes], dtype=np.int64)
+            spill = np.asarray([p.spill for p in passes], dtype=bool)
+        bcast_p, stall_p, skip_p = pass_op_counts(acts, spill)
         length_p = bcast_p + stall_p + skip_p
 
         # Greedy dispatch replay: pass i starts the cycle its group frees.
@@ -395,11 +430,14 @@ class ClusterSim:
 def passes_from_levels(
     act_levels: np.ndarray,
     spill_flags: Optional[np.ndarray] = None,
-) -> List[PassDescriptor]:
-    """Build pass descriptors from an (n_passes, 16) activation level array.
+) -> PassMatrix:
+    """Build a pass batch from an (n_passes, 16) activation level array.
 
     ``spill_flags`` (same shape, boolean) marks lanes whose weight chunk
-    has multiple outliers; defaults to no spills.
+    has multiple outliers; defaults to no spills. Returns a
+    :class:`PassMatrix` — a sequence of :class:`PassDescriptor`\\ s whose
+    backing arrays the vectorized cluster run consumes without ever
+    building the per-pass objects.
     """
     act_levels = np.asarray(act_levels, dtype=np.int64)
     if act_levels.ndim != 2 or act_levels.shape[1] != LANES:
@@ -409,7 +447,4 @@ def passes_from_levels(
     spill_flags = np.asarray(spill_flags, dtype=bool)
     if spill_flags.shape != act_levels.shape:
         raise ConfigError("spill_flags must match act_levels shape")
-    return [
-        PassDescriptor(tuple(int(v) for v in row), tuple(bool(s) for s in srow))
-        for row, srow in zip(act_levels, spill_flags)
-    ]
+    return PassMatrix(act_levels, spill_flags)

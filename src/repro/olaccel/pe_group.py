@@ -34,6 +34,8 @@ from ..arch.chunks import ActivationChunk, WeightChunk
 
 __all__ = [
     "chunk_pass_cycles",
+    "pass_op_counts",
+    "batch_pass_cycles",
     "PassCosts",
     "expected_pass_costs",
     "sample_pass_cycles",
@@ -56,6 +58,58 @@ def chunk_pass_cycles(activations: ActivationChunk, weight_chunks) -> int:
         chunk = weight_chunks[channel]
         cycles += chunk.cycles if isinstance(chunk, WeightChunk) else int(chunk)
     return cycles
+
+
+def pass_op_counts(act_levels: np.ndarray, spill_flags: np.ndarray):
+    """Per-pass micro-op counts for a whole (n, 16) pass batch at once.
+
+    Returns ``(bcast, stall, skip)`` int64 arrays of length n: nonzero
+    lanes each cost one broadcast cycle, spilled nonzero lanes one extra
+    stall cycle (Fig. 8), and all-zero aligned quads one skip cycle each
+    (Fig. 18). ``bcast + stall + skip`` is the exact pass length the
+    scalar micro-op schedule would execute — the batched form of
+    :func:`chunk_pass_cycles`, shared by the vectorized
+    :meth:`~repro.olaccel.event_sim.ClusterSim.run` accounting.
+    """
+    act_levels = np.asarray(act_levels, dtype=np.int64)
+    spill_flags = np.asarray(spill_flags, dtype=bool)
+    n = act_levels.shape[0]
+    lanes = act_levels.shape[1] if act_levels.ndim == 2 else 0
+    nonzero = act_levels != 0
+    bcast = nonzero.sum(axis=1)
+    stall = (spill_flags & nonzero).sum(axis=1)
+    skip = (~nonzero.reshape(n, lanes // 4, 4).any(axis=2)).sum(axis=1)
+    return bcast.astype(np.int64), stall.astype(np.int64), skip.astype(np.int64)
+
+
+def batch_pass_cycles(
+    act_levels: np.ndarray,
+    spill_flags: np.ndarray = None,
+    slow_reference: bool = False,
+) -> np.ndarray:
+    """Exact cycles for every pass of an (n, 16) activation level batch.
+
+    The vector twin of :func:`chunk_pass_cycles`: element i is the cycle
+    count of pass i (broadcasts + spill stalls + zero-quad skips).
+    ``slow_reference=True`` walks the batch pass by pass through the
+    scalar per-chunk API — the executable specification the fast path is
+    held bit-identical to (tests/test_vectorized_equiv.py).
+    """
+    act_levels = np.asarray(act_levels, dtype=np.int64)
+    if spill_flags is None:
+        spill_flags = np.zeros(act_levels.shape, dtype=bool)
+    spill_flags = np.asarray(spill_flags, dtype=bool)
+    if act_levels.shape != spill_flags.shape:
+        raise ValueError("spill_flags must match act_levels shape")
+    if slow_reference:
+        cycles = np.empty(act_levels.shape[0], dtype=np.int64)
+        for i, (row, srow) in enumerate(zip(act_levels, spill_flags)):
+            chunk = ActivationChunk(tuple(int(v) for v in row))
+            weight_cycles = [2 if s else 1 for s in srow]
+            cycles[i] = chunk_pass_cycles(chunk, weight_cycles)
+        return cycles
+    bcast, stall, skip = pass_op_counts(act_levels, spill_flags)
+    return bcast + stall + skip
 
 
 def multi_outlier_probability(ratio: float, lanes: int = 16) -> float:

@@ -22,8 +22,10 @@ PAIRED_CASES = (
     "unpack_activations",
     "e2e_alexnet_functional",
     "event_sim_cluster",
+    "pe_group_pass",
     "col2im_backward",
     "simcache_warm_sweep",
+    "layer_memo_warm_network",
 )
 TIMING_ONLY_CASES = ("quantize_weights", "simulate_layer", "simulate_network")
 
@@ -57,10 +59,14 @@ def test_bench_vectorization_wins(smoke_result):
     assert smoke_result.speedup("packed_unpack") > 1.5
     assert smoke_result.speedup("bitcodec_encode") > 1.5
     assert smoke_result.speedup("e2e_alexnet_functional") > 1.1
+    assert smoke_result.speedup("pack_activations") > 10.0
     assert smoke_result.speedup("event_sim_cluster") > 1.5
+    assert smoke_result.speedup("pe_group_pass") > 1.5
     assert smoke_result.speedup("col2im_backward") > 1.1
     # warm cache replay vs cold fault-cell compute is the largest margin
     assert smoke_result.speedup("simcache_warm_sweep") > 3.0
+    # warm disk replay of layer entries vs cold populate (first run)
+    assert smoke_result.speedup("layer_memo_warm_network") > 1.5
 
 
 def test_bench_seed_resolution():
@@ -76,6 +82,26 @@ def test_bench_to_dict_round_trips_through_json(smoke_result):
     assert "obs" in doc
     formatted = smoke_result.format()
     assert "pack_weights" in formatted and "speedup" in formatted
+
+
+def test_bench_case_dicts_omit_absent_baselines(smoke_result):
+    # paired cases serialize all three baseline keys; timing-only cases
+    # omit them entirely (absent, not null) so envelope consumers can
+    # distinguish "never paired" from "paired with a null measurement"
+    by_name = {case["name"]: case for case in smoke_result.to_dict()["cases"]}
+    baseline_keys = ("baseline_best_s", "baseline_repeats", "speedup")
+    for name in PAIRED_CASES:
+        for key in baseline_keys:
+            assert key in by_name[name], f"{name} missing {key}"
+            assert by_name[name][key] is not None
+    for name in TIMING_ONLY_CASES:
+        for key in baseline_keys:
+            assert key not in by_name[name], f"{name} should omit {key}"
+    # shared schema: every case carries the timing core, meta stays a dict
+    for case in by_name.values():
+        for key in ("name", "repeats", "best_s", "mean_s", "meta"):
+            assert key in case
+        assert isinstance(case["meta"], dict)
 
 
 def test_default_bench_path_is_versioned():

@@ -215,6 +215,71 @@ def test_pack_activations_fast_matches_slow():
         assert np.array_equal(unpack_activations(slow), levels)
 
 
+def test_pack_activations_lazy_table_and_counts():
+    # the fast packer must report FIFO counts and footprint straight
+    # from the coordinate table, materializing entry objects only on
+    # first .outliers access
+    from repro.arch.act_packing import OUTLIER_ENTRY_BITS
+
+    rng = np.random.default_rng(616)
+    levels = rng.integers(0, 16, size=(20, 6, 6))
+    mask = rng.random(size=levels.shape) < 0.15
+    levels = np.where(mask, rng.integers(16, 200, size=levels.shape), levels).astype(np.int64)
+
+    fast = pack_activations(levels)
+    assert fast._outliers is None
+    slow = pack_activations(levels, slow_reference=True)
+    assert fast.n_outliers == len(slow.outliers)
+    assert fast.outlier_bits == len(slow.outliers) * OUTLIER_ENTRY_BITS
+    assert fast.total_bits == slow.total_bits
+    assert fast._outliers is None  # counts/footprint did not materialize
+    assert fast.outliers == slow.outliers  # first access materializes
+    assert fast._outliers is not None
+
+
+def test_pack_activations_extremes_and_padding():
+    cases = [
+        (np.zeros((16, 3, 3), dtype=np.int64), 15),  # exact chunk multiple, all zero
+        (np.full((5, 2, 2), 100, dtype=np.int64), 15),  # every element an outlier
+        (np.arange(32 * 4).reshape(32, 2, 2).astype(np.int64) % 16, 15),  # no outliers
+        (np.arange(17 * 9).reshape(17, 3, 3).astype(np.int64) % 40, 15),  # padded channels
+        (np.arange(3 * 4).reshape(3, 2, 2).astype(np.int64), 7),  # custom normal_max
+    ]
+    for levels, normal_max in cases:
+        fast = pack_activations(levels, normal_max=normal_max)
+        slow = pack_activations(levels, normal_max=normal_max, slow_reference=True)
+        assert np.array_equal(fast.dense, slow.dense)
+        assert fast.outliers == slow.outliers
+        assert fast == slow
+        assert np.array_equal(unpack_activations(fast), levels)
+
+
+def test_activation_fault_strikes_identical_across_packing_paths():
+    # FaultPlan's rng is stateless per (seed, surface): the fast packer's
+    # coordinate table and the scalar packer's FIFO carry the same values
+    # in the same order, so the swarm-value strikes degrade identically.
+    from dataclasses import replace as dc_replace
+
+    rng = np.random.default_rng(515)
+    levels = rng.integers(0, 16, size=(24, 5, 5))
+    mask = rng.random(size=levels.shape) < 0.2
+    levels = np.where(mask, rng.integers(16, 300, size=levels.shape), levels).astype(np.int64)
+    plan = FaultPlan(rate=2e-2, seed=17)
+
+    results = []
+    for slow in (False, True):
+        packed = pack_activations(levels, slow_reference=slow)
+        dense, _ = plan.corrupt_levels(packed.dense, 4, surface="activations")
+        values = packed._coord_table()[:, 3]
+        struck_values, _ = plan.corrupt_levels(values, 16, surface="outliers")
+        entries = [
+            dc_replace(e, value=int(v)) for e, v in zip(packed.outliers, struck_values)
+        ]
+        results.append(unpack_activations(packed.replace_streams(dense=dense, outliers=entries)))
+    assert np.array_equal(results[0], results[1])
+    assert not np.array_equal(results[0], levels)  # the strikes landed
+
+
 # ---------------------------------------------------------------------------
 # functional datapath
 # ---------------------------------------------------------------------------
@@ -378,6 +443,98 @@ def test_cluster_sim_obs_forces_scalar_stepper():
     obs = Registry()
     ClusterSim(n_groups=2, obs=obs).run(passes)
     assert obs.histogram("queue_depth").count > 0
+
+
+def test_cluster_sim_tracer_forces_scalar_stepper():
+    # per-pass completion events only exist on the stepper; an attached
+    # tracer must receive them even without slow_reference=True
+    from repro.obs import Tracer
+    from repro.olaccel.event_sim import ClusterSim, passes_from_levels
+
+    rng = np.random.default_rng(10)
+    levels = rng.integers(0, 4, size=(7, 16))
+    passes = passes_from_levels(levels)
+    tracer = Tracer()
+    result = ClusterSim(n_groups=2, tracer=tracer).run(passes)
+    assert len(tracer.of_kind("pass_done")) == result.passes == 7
+
+
+def test_passes_from_levels_returns_lazy_pass_matrix():
+    from repro.olaccel.event_sim import PassDescriptor, PassMatrix, passes_from_levels
+
+    rng = np.random.default_rng(11)
+    levels = rng.integers(0, 16, size=(9, 16))
+    spills = rng.random(levels.shape) < 0.3
+    passes = passes_from_levels(levels, spills)
+    assert isinstance(passes, PassMatrix)
+    assert len(passes) == 9
+    for i in (0, 4, 8):
+        desc = passes[i]
+        assert isinstance(desc, PassDescriptor)
+        assert desc.activations == tuple(int(v) for v in levels[i])
+        assert desc.spill == tuple(bool(s) for s in spills[i])
+    assert passes[2:4] == [passes[2], passes[3]]
+    assert list(passes) == [passes[i] for i in range(9)]
+
+
+def test_cluster_sim_fast_accepts_plain_descriptor_lists():
+    # manually built descriptor lists (tests, notebooks) must keep
+    # working on the fast path, not just PassMatrix batches
+    import dataclasses
+
+    from repro.olaccel.event_sim import ClusterSim, PassDescriptor
+
+    rng = np.random.default_rng(12)
+    levels = rng.integers(0, 16, size=(11, 16))
+    spills = rng.random(levels.shape) < 0.25
+    passes = [
+        PassDescriptor(tuple(int(v) for v in row), tuple(bool(s) for s in srow))
+        for row, srow in zip(levels, spills)
+    ]
+    fast = ClusterSim(n_groups=3).run(passes, outlier_broadcasts=4)
+    slow = ClusterSim(n_groups=3).run(passes, outlier_broadcasts=4, slow_reference=True)
+    assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+
+def test_batch_pass_cycles_fast_matches_slow():
+    from repro.olaccel.pe_group import batch_pass_cycles
+
+    rng = np.random.default_rng(13)
+    for _ in range(25):
+        n = int(rng.integers(0, 50))
+        levels = rng.integers(0, 16, size=(n, 16))
+        levels[rng.random(levels.shape) < float(rng.uniform(0.1, 0.9))] = 0
+        spills = rng.random(levels.shape) < float(rng.uniform(0.0, 0.5))
+        fast = batch_pass_cycles(levels, spills)
+        slow = batch_pass_cycles(levels, spills, slow_reference=True)
+        assert np.array_equal(fast, slow)
+        assert fast.dtype == slow.dtype == np.int64
+    # spill_flags defaults to no spills on both paths
+    levels = rng.integers(0, 16, size=(8, 16))
+    assert np.array_equal(
+        batch_pass_cycles(levels), batch_pass_cycles(levels, slow_reference=True)
+    )
+    with pytest.raises(ValueError):
+        batch_pass_cycles(levels, np.zeros((8, 4), dtype=bool))
+
+
+def test_pass_op_counts_sum_is_micro_schedule_length():
+    from repro.olaccel.event_sim import PassDescriptor, _micro_schedule
+    from repro.olaccel.pe_group import pass_op_counts
+
+    rng = np.random.default_rng(14)
+    levels = rng.integers(0, 16, size=(12, 16))
+    levels[rng.random(levels.shape) < 0.5] = 0
+    spills = rng.random(levels.shape) < 0.3
+    bcast, stall, skip = pass_op_counts(levels, spills)
+    for i in range(12):
+        ops = _micro_schedule(
+            PassDescriptor(tuple(int(v) for v in levels[i]), tuple(bool(s) for s in spills[i]))
+        )
+        assert bcast[i] == ops.count("bcast")
+        assert stall[i] == ops.count("stall")
+        assert skip[i] == ops.count("skip")
+        assert bcast[i] + stall[i] + skip[i] == len(ops)
 
 
 # ---------------------------------------------------------------------------
